@@ -1,0 +1,115 @@
+//! Array-level kernels: the 3-D strike Monte Carlo whose 10⁷-iteration
+//! runtime the paper quotes as ≈ 2 hours for a 9×9 array (Section 6).
+//! These benches measure our per-iteration cost so the same throughput
+//! claim can be checked on any machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use finrad_core::array::{DataPattern, MemoryArray};
+use finrad_core::strike::{
+    combine_cell_pofs, DepositMode, DirectionLaw, FlipModel, StrikeSimulator,
+};
+use finrad_finfet::Technology;
+use finrad_geometry::trace::trace_boxes;
+use finrad_geometry::{Ray, Vec3};
+use finrad_sram::{CellCharacterizer, CharacterizeOptions, PofTable, Variation};
+use finrad_transport::fin::FinTraversal;
+use finrad_units::{Energy, Particle, Voltage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn nominal_table() -> PofTable {
+    CellCharacterizer::new(
+        Technology::soi_finfet_14nm(),
+        CharacterizeOptions {
+            settle: 5.0e-12,
+            bisect_rel_tol: 0.1,
+            ..CharacterizeOptions::default()
+        },
+    )
+    .build_table(Voltage::from_volts(0.8), Variation::Nominal, 1)
+    .expect("characterization")
+}
+
+fn bench_ray_trace(c: &mut Criterion) {
+    // Tracing one ray against all 486 fin boxes of the paper's 9x9 array.
+    let array = MemoryArray::build(
+        &Technology::soi_finfet_14nm(),
+        9,
+        9,
+        DataPattern::Checkerboard,
+    );
+    let boxes = array.fin_boxes();
+    let bounds = array.bounds();
+    let center = bounds.center();
+    let ray = Ray::new(
+        Vec3::new(center.x, center.y, bounds.max_corner().z + 1e-7),
+        Vec3::new(0.3, 0.2, -1.0),
+    );
+    c.bench_function("trace_9x9_array_486_boxes", |b| {
+        b.iter(|| black_box(trace_boxes(&ray, &boxes)))
+    });
+}
+
+fn bench_strike_iteration(c: &mut Criterion) {
+    // One full Section 5.1 iteration (the paper's 10^7-count kernel).
+    let array = MemoryArray::build(
+        &Technology::soi_finfet_14nm(),
+        9,
+        9,
+        DataPattern::Checkerboard,
+    );
+    let table = nominal_table();
+    let mut group = c.benchmark_group("fig8_strike_iteration");
+    for (name, model) in [
+        ("sampled", FlipModel::Sampled),
+        ("expected", FlipModel::Expected),
+    ] {
+        let sim = StrikeSimulator::new(
+            &array,
+            FinTraversal::paper_default(),
+            &table,
+            DirectionLaw::CosineDown,
+            DepositMode::ChordExact,
+            model,
+            None,
+        );
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                black_box(sim.simulate_one(Particle::Alpha, Energy::from_mev(2.0), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_eqs_4_to_6(c: &mut Criterion) {
+    let pofs = [0.31, 0.02, 0.77, 0.001, 0.5];
+    c.bench_function("combine_cell_pofs_eqs4to6", |b| {
+        b.iter(|| black_box(combine_cell_pofs(black_box(&pofs))))
+    });
+}
+
+fn bench_array_build(c: &mut Criterion) {
+    let tech = Technology::soi_finfet_14nm();
+    c.bench_function("build_9x9_array", |b| {
+        b.iter(|| {
+            black_box(MemoryArray::build(
+                &tech,
+                9,
+                9,
+                DataPattern::Checkerboard,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ray_trace,
+    bench_strike_iteration,
+    bench_eqs_4_to_6,
+    bench_array_build
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Environment-level kernels: flux-spectrum evaluation, discretization
+//! (the paper's Eq. 8 binning) and FIT integration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use finrad_core::fit::{fit_rate, PofBin};
+use finrad_environment::{AlphaSpectrum, ProtonSpectrum, Spectrum, SpectrumBin};
+use finrad_units::{Area, Energy, Flux};
+use std::hint::black_box;
+
+fn bench_spectrum_eval(c: &mut Criterion) {
+    let proton = ProtonSpectrum::sea_level();
+    c.bench_function("proton_spectrum_eval", |b| {
+        let mut e = 0.1f64;
+        b.iter(|| {
+            e = if e > 9.0e6 { 0.1 } else { e * 1.3 };
+            black_box(proton.differential(Energy::from_mev(e)))
+        })
+    });
+    let alpha = AlphaSpectrum::paper_default();
+    c.bench_function("alpha_spectrum_eval", |b| {
+        let mut e = 0.1f64;
+        b.iter(|| {
+            e = if e > 9.5 { 0.1 } else { e + 0.05 };
+            black_box(alpha.differential(Energy::from_mev(e)))
+        })
+    });
+}
+
+fn bench_integral_flux(c: &mut Criterion) {
+    let proton = ProtonSpectrum::sea_level();
+    c.bench_function("integral_flux_256_panels", |b| {
+        b.iter(|| {
+            black_box(proton.integral_flux(Energy::from_mev(0.1), Energy::from_mev(100.0)))
+        })
+    });
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let alpha = AlphaSpectrum::paper_default();
+    c.bench_function("discretize_20_bins", |b| {
+        b.iter(|| black_box(alpha.discretize(20)))
+    });
+}
+
+fn bench_fit_integration(c: &mut Criterion) {
+    let bins: Vec<PofBin> = (0..20)
+        .map(|i| {
+            let e = 0.2 * (i + 1) as f64;
+            PofBin {
+                spectrum: SpectrumBin {
+                    energy: Energy::from_mev(e),
+                    lo: Energy::from_mev(e * 0.9),
+                    hi: Energy::from_mev(e * 1.1),
+                    integral_flux: Flux::from_per_m2_second(1.0e-4 / e),
+                },
+                pof_total: 1.0e-3 / e,
+                pof_seu: 0.9e-3 / e,
+                pof_mbu: 0.1e-3 / e,
+            }
+        })
+        .collect();
+    let area = Area::from_square_um(2.2);
+    c.bench_function("fit_rate_eq8_20bins", |b| {
+        b.iter(|| black_box(fit_rate(black_box(&bins), area)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spectrum_eval,
+    bench_integral_flux,
+    bench_discretize,
+    bench_fit_integration
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Device-level kernels: the Geant4-substitute Monte Carlo (Fig. 4's
+//! engine) and its pieces.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use finrad_transport::fin::FinTraversal;
+use finrad_transport::lut::EhpLut;
+use finrad_transport::stopping::StoppingModel;
+use finrad_transport::straggling::{self, StragglingModel};
+use finrad_units::{Energy, Length, Particle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_stopping_power(c: &mut Criterion) {
+    let model = StoppingModel::silicon();
+    c.bench_function("stopping_power_eval", |b| {
+        let mut e = 0.1f64;
+        b.iter(|| {
+            e = if e > 90.0 { 0.1 } else { e * 1.01 };
+            black_box(model.stopping(Particle::Alpha, Energy::from_mev(e)))
+        })
+    });
+}
+
+fn bench_fin_traversal(c: &mut Criterion) {
+    // One Fig. 4 Monte-Carlo sample: random chord + straggled deposit +
+    // pair sampling. The paper runs 10^7 of these per energy point.
+    let sim = FinTraversal::paper_default();
+    c.bench_function("fig4_fin_traversal", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sim.simulate(Particle::Alpha, Energy::from_mev(2.0), &mut rng)))
+    });
+}
+
+fn bench_lut_build_and_lookup(c: &mut Criterion) {
+    let sim = FinTraversal::paper_default();
+    c.bench_function("fig4_lut_build_6pts_x_500", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(2),
+            |mut rng| {
+                black_box(EhpLut::build(
+                    &sim,
+                    Particle::Proton,
+                    0.1,
+                    100.0,
+                    6,
+                    500,
+                    &mut rng,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let lut = EhpLut::build(&sim, Particle::Alpha, 0.1, 100.0, 12, 2_000, &mut rng);
+    c.bench_function("lut_lookup", |b| {
+        let mut e = 0.2f64;
+        b.iter(|| {
+            e = if e > 90.0 { 0.2 } else { e * 1.1 };
+            black_box(lut.mean_pairs(Energy::from_mev(e)))
+        })
+    });
+}
+
+fn bench_straggling(c: &mut Criterion) {
+    let model = StoppingModel::silicon();
+    let e = Energy::from_mev(1.0);
+    let chord = Length::from_nm(25.0);
+    c.bench_function("landau_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            black_box(straggling::sample_energy_loss(
+                &model,
+                StragglingModel::Landau,
+                Particle::Proton,
+                e,
+                chord,
+                &mut rng,
+            ))
+        })
+    });
+    let params = straggling::landau_params(&model, Particle::Proton, e, chord);
+    c.bench_function("deposit_exceedance_analytic", |b| {
+        let mut t = 1.0f64;
+        b.iter(|| {
+            t = if t > 5.0 { 1.0 } else { t + 0.01 };
+            black_box(straggling::deposit_exceedance(&params, params.mean * t, e))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stopping_power,
+    bench_fin_traversal,
+    bench_lut_build_and_lookup,
+    bench_straggling
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates the paper's Fig. 2: ground-level particle spectra.
+//!
+//! * Fig. 2(a): sea-level proton differential intensity, 0.1–10⁷ MeV.
+//! * Fig. 2(b): terrestrial alpha emission spectrum below 10 MeV,
+//!   normalized to 0.001 α/(h·cm²).
+//!
+//! Usage: `cargo run --release -p finrad-bench --bin fig2_spectra`
+
+use finrad_environment::{AlphaSpectrum, ProtonSpectrum, Spectrum};
+use finrad_numerics::interp::{lin_space, log_space};
+use finrad_units::Energy;
+
+fn main() {
+    let proton = ProtonSpectrum::sea_level();
+    println!("# Fig. 2(a): sea-level proton spectrum");
+    println!("# {:>14}  {:>20}", "E (MeV)", "I (1/m^2/s/sr/MeV)");
+    for e in log_space(0.1, 1.0e7, 33) {
+        println!(
+            "{e:>16.6e}  {:>20.6e}",
+            proton.intensity_per_sr(Energy::from_mev(e))
+        );
+    }
+    println!();
+
+    let alpha = AlphaSpectrum::paper_default();
+    println!("# Fig. 2(b): alpha emission spectrum (total 0.001 a/h/cm^2)");
+    println!("# {:>14}  {:>20}", "E (MeV)", "I (1/m^2/s/MeV)");
+    for e in lin_space(0.1, 10.0, 34) {
+        println!(
+            "{e:>16.6e}  {:>20.6e}",
+            alpha.differential(Energy::from_mev(e))
+        );
+    }
+    println!();
+    println!(
+        "# check: alpha total = {:.6e} a/(h cm^2) (paper assumes 1.0e-3)",
+        alpha.total_flux().per_cm2_hour()
+    );
+    println!(
+        "# check: proton integral flux (0.1-10 MeV band) = {:.6e} 1/(m^2 s)",
+        proton
+            .integral_flux(Energy::from_mev(0.1), Energy::from_mev(10.0))
+            .per_m2_second()
+    );
+}

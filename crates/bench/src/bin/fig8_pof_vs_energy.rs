@@ -1,0 +1,56 @@
+//! Regenerates the paper's Fig. 8: normalized POF of the 9×9 SRAM array
+//! vs particle energy, for {proton, alpha} × {Vdd = 0.7 V, 0.8 V}, with
+//! every particle forced to hit the array footprint.
+//!
+//! Usage: `cargo run --release -p finrad-bench --bin fig8_pof_vs_energy`
+//! (`FINRAD_FULL=1` for paper-scale statistics)
+
+use finrad_bench::{figure_config, Scale};
+use finrad_core::pipeline::SerPipeline;
+use finrad_numerics::interp::log_space;
+use finrad_units::{Energy, Particle, Voltage};
+
+fn main() {
+    let scale = Scale::from_env();
+    let pipeline = SerPipeline::new(figure_config(scale));
+    let energies: Vec<Energy> = log_space(0.1, 100.0, 13)
+        .into_iter()
+        .map(Energy::from_mev)
+        .collect();
+
+    let mut series = Vec::new();
+    for vdd_v in [0.7, 0.8] {
+        let vdd = Voltage::from_volts(vdd_v);
+        for particle in Particle::ALL {
+            let table = pipeline
+                .build_pof_table(vdd)
+                .expect("characterization failed");
+            let sweep = pipeline.pof_vs_energy_with_table(particle, &table, &energies);
+            series.push((particle, vdd_v, sweep));
+        }
+    }
+
+    let peak = series
+        .iter()
+        .flat_map(|(_, _, s)| s.iter().map(|(_, est)| est.total.mean()))
+        .fold(0.0f64, f64::max);
+
+    println!("# Fig. 8: normalized array POF vs energy (forced hits)");
+    println!(
+        "# {:>10}  {:>14}  {:>14}  {:>8}  {:>6}",
+        "E (MeV)", "POF", "normalized", "particle", "Vdd"
+    );
+    for (particle, vdd, sweep) in &series {
+        for (e, est) in sweep {
+            println!(
+                "{:>12.4e}  {:>14.6e}  {:>14.6e}  {:>8}  {:>6}",
+                e.mev(),
+                est.total.mean(),
+                est.total.mean() / peak.max(1e-300),
+                particle,
+                vdd
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,71 @@
+//! Neutron-induced SER of the 9×9 array — the paper's declared future
+//! work, implemented as an extension (see `finrad-core::neutron`).
+//!
+//! Prints the per-energy POF of the indirect-ionization Monte Carlo and
+//! the integrated FIT rate next to the direct-ionization (alpha/proton)
+//! rates for context.
+//!
+//! Usage: `cargo run --release -p finrad-bench --bin neutron_ser`
+
+use finrad_bench::{figure_config, Scale};
+use finrad_core::array::{DataPattern, MemoryArray};
+use finrad_core::neutron::{NeutronSimulator, NeutronVolume};
+use finrad_core::pipeline::SerPipeline;
+use finrad_environment::NeutronSpectrum;
+use finrad_finfet::Technology;
+use finrad_transport::neutron::NeutronInteraction;
+use finrad_units::{Particle, Voltage};
+
+fn main() {
+    let scale = Scale::from_env();
+    let pipeline = SerPipeline::new(figure_config(scale));
+    let vdd = Voltage::from_volts(0.8);
+    let table = pipeline
+        .build_pof_table(vdd)
+        .expect("characterization failed");
+
+    let tech = Technology::soi_finfet_14nm();
+    let array = MemoryArray::build(&tech, 9, 9, DataPattern::Checkerboard);
+    let sim = NeutronSimulator::new(
+        &array,
+        NeutronInteraction::silicon(),
+        &table,
+        NeutronVolume::default(),
+    );
+
+    let (fit, bins) = sim.ser(
+        &NeutronSpectrum::sea_level(),
+        8,
+        scale.strike_iterations(),
+        31,
+    );
+
+    println!("# Neutron-induced SER (extension; indirect ionization)");
+    println!("# {:>10}  {:>14}  {:>16}", "E (MeV)", "POF/history", "IntFlux (1/m2 s)");
+    for b in &bins {
+        println!(
+            "{:>12.3e}  {:>14.6e}  {:>16.6e}",
+            b.spectrum.energy.mev(),
+            b.pof_total,
+            b.spectrum.integral_flux.per_m2_second()
+        );
+    }
+    println!();
+    println!(
+        "neutron SER at 0.8 V: {:.4e} FIT (MBU/SEU = {:.3}%)",
+        fit.total,
+        fit.mbu_to_seu_percent()
+    );
+
+    // Context: the direct-ionization rates from the main flow.
+    for particle in Particle::ALL {
+        let report = pipeline.run_with_table(particle, vdd, &table);
+        println!(
+            "{particle:>8} SER at 0.8 V: {:.4e} FIT",
+            report.fit_total
+        );
+    }
+    println!();
+    println!("# SOI strongly suppresses indirect ionization (tiny sensitive volume,");
+    println!("# BOX-isolated substrate), so the neutron FIT sits well below alpha/proton.");
+}

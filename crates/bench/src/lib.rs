@@ -1,0 +1,113 @@
+//! Shared plumbing for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Every figure of the paper's evaluation section has a binary in
+//! `src/bin/` that prints the corresponding series (normalized the same
+//! way the paper normalizes). Two run scales are supported:
+//!
+//! * **quick** (default) — minutes-scale, statistically coarser; enough to
+//!   verify every trend.
+//! * **full** (`FINRAD_FULL=1`) — paper-scale statistics (1000-sample
+//!   variation MC, 10⁵–10⁶ strike iterations per energy).
+
+use finrad_core::pipeline::PipelineConfig;
+use finrad_sram::Variation;
+
+/// Run scale selected through the `FINRAD_FULL` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale statistics.
+    Quick,
+    /// Paper-scale statistics.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("FINRAD_FULL") {
+            Ok(v) if v != "0" && !v.is_empty() => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Variation Monte-Carlo sample count.
+    pub fn variation_samples(self) -> usize {
+        match self {
+            Scale::Quick => 150,
+            Scale::Full => 1000, // the paper's count
+        }
+    }
+
+    /// Strike-MC iterations per energy bin.
+    pub fn strike_iterations(self) -> u64 {
+        match self {
+            Scale::Quick => 30_000,
+            Scale::Full => 400_000,
+        }
+    }
+
+    /// Energy bins per spectrum.
+    pub fn energy_bins(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 20,
+        }
+    }
+
+    /// Device-level LUT traversals per energy point.
+    pub fn lut_samples(self) -> u64 {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 200_000,
+        }
+    }
+}
+
+/// The pipeline configuration used by the figure binaries at `scale`.
+pub fn figure_config(scale: Scale) -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_baseline();
+    cfg.variation = Variation::MonteCarlo {
+        samples: scale.variation_samples(),
+    };
+    cfg.iterations_per_energy = scale.strike_iterations();
+    cfg.energy_bins = scale.energy_bins();
+    cfg
+}
+
+/// The supply-voltage sweep of Figs. 9–11.
+pub const VDD_SWEEP: [f64; 5] = [0.7, 0.8, 0.9, 1.0, 1.1];
+
+/// Prints a two-column normalized series with a title, matching how the
+/// paper reports normalized results.
+pub fn print_normalized_series(title: &str, x_label: &str, xs: &[f64], ys: &[f64]) {
+    assert_eq!(xs.len(), ys.len());
+    let peak = ys.iter().cloned().fold(0.0f64, f64::max);
+    println!("# {title}");
+    println!("# {x_label:>14}  {:>14}  {:>14}", "value", "normalized");
+    for (x, y) in xs.iter().zip(ys) {
+        let norm = if peak > 0.0 { y / peak } else { 0.0 };
+        println!("{x:>16.6e}  {y:>14.6e}  {norm:>14.6e}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        assert!(Scale::Quick.variation_samples() < Scale::Full.variation_samples());
+        assert!(Scale::Quick.strike_iterations() < Scale::Full.strike_iterations());
+        assert_eq!(Scale::Full.variation_samples(), 1000);
+    }
+
+    #[test]
+    fn figure_config_matches_scale() {
+        let cfg = figure_config(Scale::Quick);
+        assert_eq!(cfg.iterations_per_energy, Scale::Quick.strike_iterations());
+        assert_eq!(cfg.rows, 9);
+        assert_eq!(cfg.cols, 9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Random direction and position sampling for the strike Monte Carlo.
+//!
+//! The paper generates "a random particle with a random direction and
+//! position" (Section 5.1, step 1). Two direction laws are provided:
+//!
+//! * [`isotropic_direction`] — uniform over the full sphere; appropriate for
+//!   alpha particles emitted by package contamination on all sides.
+//! * [`cosine_law_hemisphere`] — Lambertian flux through a horizontal plane;
+//!   the standard model for atmospheric particles arriving at a surface
+//!   (intensity ∝ cos θ from the zenith).
+
+use crate::{Aabb, Vec3};
+use rand::Rng;
+
+/// Samples a direction uniformly distributed over the unit sphere.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let d = finrad_geometry::sampling::isotropic_direction(&mut rng);
+/// assert!((d.norm() - 1.0).abs() < 1e-12);
+/// ```
+pub fn isotropic_direction<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    // Marsaglia (1972): uniform on the sphere via the cylinder map.
+    let z: f64 = rng.gen_range(-1.0..=1.0);
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let r = (1.0 - z * z).max(0.0).sqrt();
+    Vec3::new(r * phi.cos(), r * phi.sin(), z)
+}
+
+/// Samples a downward direction with the cosine (Lambert) law relative to
+/// the `-z` axis: the polar angle satisfies `cos²θ ~ U(0,1)`, which weights
+/// directions by the flux they carry through a horizontal surface.
+pub fn cosine_law_hemisphere<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let cos_theta = u.sqrt(); // pdf ∝ cosθ·sinθ
+    let sin_theta = (1.0 - cos_theta * cos_theta).max(0.0).sqrt();
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    Vec3::new(sin_theta * phi.cos(), sin_theta * phi.sin(), -cos_theta)
+}
+
+/// Samples a point uniformly inside a box.
+pub fn point_in_box<R: Rng + ?Sized>(rng: &mut R, aabb: &Aabb) -> Vec3 {
+    let min = aabb.min_corner();
+    let max = aabb.max_corner();
+    Vec3::new(
+        sample_coord(rng, min.x, max.x),
+        sample_coord(rng, min.y, max.y),
+        sample_coord(rng, min.z, max.z),
+    )
+}
+
+/// Samples a point uniformly on the top (`z = max`) face of a box — the
+/// natural launch surface for particles arriving from above the die.
+pub fn point_on_top_face<R: Rng + ?Sized>(rng: &mut R, aabb: &Aabb) -> Vec3 {
+    let min = aabb.min_corner();
+    let max = aabb.max_corner();
+    Vec3::new(
+        sample_coord(rng, min.x, max.x),
+        sample_coord(rng, min.y, max.y),
+        max.z,
+    )
+}
+
+fn sample_coord<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi > lo {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn isotropic_is_unit_and_covers_both_hemispheres() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut up = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let d = isotropic_direction(&mut rng);
+            assert!((d.norm() - 1.0).abs() < 1e-12);
+            if d.z > 0.0 {
+                up += 1;
+            }
+        }
+        // Roughly half of the directions point up.
+        let frac = up as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "up fraction {frac}");
+    }
+
+    #[test]
+    fn isotropic_mean_is_near_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let mut acc = Vec3::ZERO;
+        for _ in 0..n {
+            acc = acc + isotropic_direction(&mut rng);
+        }
+        let mean = acc / n as f64;
+        assert!(mean.norm() < 0.02, "mean direction {mean}");
+    }
+
+    #[test]
+    fn cosine_law_points_down_with_cos2_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        let mut sum_cos = 0.0;
+        for _ in 0..n {
+            let d = cosine_law_hemisphere(&mut rng);
+            assert!(d.z < 0.0, "cosine-law direction must point down");
+            assert!((d.norm() - 1.0).abs() < 1e-12);
+            sum_cos += -d.z;
+        }
+        // E[cosθ] with pdf 2cosθ·sinθ is 2/3.
+        let mean = sum_cos / n as f64;
+        assert!((mean - 2.0 / 3.0).abs() < 0.01, "mean cosθ {mean}");
+    }
+
+    #[test]
+    fn points_in_box_are_contained() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let b = Aabb::new(Vec3::new(-2.0, 1.0, 0.0), Vec3::new(3.0, 4.0, 0.5));
+        for _ in 0..1000 {
+            assert!(b.contains(point_in_box(&mut rng, &b)));
+        }
+    }
+
+    #[test]
+    fn top_face_points_have_max_z() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
+        for _ in 0..100 {
+            let p = point_on_top_face(&mut rng, &b);
+            assert_eq!(p.z, 3.0);
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn degenerate_box_sampling() {
+        // Zero-thickness box (a plane) must not panic.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 0.0));
+        let p = point_in_box(&mut rng, &b);
+        assert_eq!(p.z, 0.0);
+    }
+}

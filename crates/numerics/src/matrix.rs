@@ -1,0 +1,396 @@
+//! Dense matrices and LU factorization with partial pivoting.
+//!
+//! The MNA systems assembled by `finrad-spice` are small (≈ 10 unknowns for
+//! a 6T SRAM cell), so a dense O(n³) factorization is the right tool; no
+//! sparse machinery is warranted.
+
+use crate::NumericsError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_numerics::matrix::Matrix;
+///
+/// let mut a = Matrix::zeros(2, 2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 3.0;
+/// assert_eq!(a[(0, 0)], 2.0);
+/// assert_eq!(a.rows(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Dimension`] if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NumericsError> {
+        if data.len() != rows * cols {
+            return Err(NumericsError::Dimension {
+                expected: format!("{} elements", rows * cols),
+                got: format!("{}", data.len()),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `value` to entry `(r, c)` — the MNA "stamp" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, value: f64) {
+        self[(r, c)] += value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Dimension`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if x.len() != self.cols {
+            return Err(NumericsError::Dimension {
+                expected: format!("vector of length {}", self.cols),
+                got: format!("{}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Maximum absolute entry (∞-norm of the flattened data).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// LU factorization with partial (row) pivoting: `P·A = L·U`.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_numerics::matrix::{Matrix, LuFactors};
+///
+/// let a = Matrix::from_rows(2, 2, vec![0.0, 2.0, 1.0, 1.0])?;
+/// let lu = LuFactors::factor(a)?;
+/// let x = lu.solve(&[2.0, 3.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), finrad_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+}
+
+/// Pivots smaller than this (relative to the largest entry of their column)
+/// are treated as exact zeros.
+const PIVOT_EPS: f64 = 1.0e-300;
+
+impl LuFactors {
+    /// Factors a square matrix in place.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::Dimension`] if the matrix is not square.
+    /// * [`NumericsError::SingularMatrix`] if a pivot underflows.
+    pub fn factor(mut a: Matrix) -> Result<Self, NumericsError> {
+        if a.rows != a.cols {
+            return Err(NumericsError::Dimension {
+                expected: "square matrix".to_owned(),
+                got: format!("{}x{}", a.rows, a.cols),
+            });
+        }
+        let n = a.rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut pmax = a[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = a[(r, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = r;
+                }
+            }
+            if pmax < PIVOT_EPS || !pmax.is_finite() {
+                return Err(NumericsError::SingularMatrix { column: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                for c in 0..n {
+                    let tmp = a[(k, c)];
+                    a[(k, c)] = a[(p, c)];
+                    a[(p, c)] = tmp;
+                }
+            }
+            // Eliminate below the pivot.
+            let pivot = a[(k, k)];
+            for r in (k + 1)..n {
+                let factor = a[(r, k)] / pivot;
+                a[(r, k)] = factor;
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        let akc = a[(k, c)];
+                        a[(r, c)] -= factor * akc;
+                    }
+                }
+            }
+        }
+        Ok(Self { lu: a, perm })
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::Dimension`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(NumericsError::Dimension {
+                expected: format!("rhs of length {n}"),
+                got: format!("{}", b.len()),
+            });
+        }
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc;
+        }
+        // Backward substitution with U.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in (r + 1)..n {
+                acc -= self.lu[(r, c)] * x[c];
+            }
+            x[r] = acc / self.lu[(r, r)];
+        }
+        Ok(x)
+    }
+
+    /// Dimension of the factored system.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.rows
+    }
+}
+
+/// Convenience one-shot solve of `A·x = b`.
+///
+/// # Errors
+///
+/// Propagates factorization and dimension errors from [`LuFactors`].
+///
+/// # Examples
+///
+/// ```
+/// use finrad_numerics::matrix::{solve, Matrix};
+///
+/// let a = Matrix::from_rows(2, 2, vec![4.0, 1.0, 1.0, 3.0])?;
+/// let x = solve(a, &[1.0, 2.0])?;
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), finrad_numerics::NumericsError>(())
+/// ```
+pub fn solve(a: Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    LuFactors::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let x = solve(a, &b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // a11 = 0 forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve(a, &[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        match LuFactors::factor(a) {
+            Err(NumericsError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::factor(a),
+            Err(NumericsError::Dimension { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_small_for_random_system() {
+        // Deterministic pseudo-random fill (LCG) to avoid rand dependency here.
+        let n = 12;
+        let mut state = 0x2545F491_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = next();
+            }
+            a[(r, r)] += 4.0; // diagonally dominant => well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(a.clone(), &b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reuse_factors_for_multiple_rhs() {
+        let a = Matrix::from_rows(3, 3, vec![2.0, 0.0, 1.0, 0.0, 3.0, 0.0, 1.0, 0.0, 2.0]).unwrap();
+        let lu = LuFactors::factor(a.clone()).unwrap();
+        for b in [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [3.0, -1.0, 2.0]] {
+            let x = lu.solve(&b).unwrap();
+            let ax = a.mul_vec(&x).unwrap();
+            for (axi, bi) in ax.iter().zip(&b) {
+                assert!((axi - bi).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_at(0, 0, 1.5);
+        a.add_at(0, 0, 2.5);
+        assert_eq!(a[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn mul_vec_dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix index out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Quadrature over tabulated and closed-form integrands.
+//!
+//! The FIT-rate integral of the paper (Eq. 7, discretized as Eq. 8) is a
+//! flux-weighted sum over energy bins; these helpers do the bin bookkeeping
+//! and the reference trapezoidal integration used to cross-check it.
+
+/// Trapezoidal integral of samples `(xs[i], ys[i])`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_numerics::quadrature::trapezoid;
+///
+/// let xs = [0.0, 1.0, 2.0];
+/// let ys = [0.0, 1.0, 2.0]; // y = x
+/// assert!((trapezoid(&xs, &ys) - 2.0).abs() < 1e-12);
+/// ```
+pub fn trapezoid(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "abscissa/ordinate length mismatch");
+    assert!(xs.len() >= 2, "need at least two samples");
+    xs.windows(2)
+        .zip(ys.windows(2))
+        .map(|(xw, yw)| 0.5 * (yw[0] + yw[1]) * (xw[1] - xw[0]))
+        .sum()
+}
+
+/// Trapezoidal integral of a function `f` over `[a, b]` with `n` panels.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `b < a`.
+pub fn trapezoid_fn(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one panel");
+    assert!(b >= a, "inverted integration bounds");
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + h * i as f64);
+    }
+    acc * h
+}
+
+/// An energy bin used to discretize a particle spectrum (the paper's Eq. 8):
+/// a representative energy plus the integral flux over the bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Lower bin edge.
+    pub lo: f64,
+    /// Upper bin edge.
+    pub hi: f64,
+    /// Representative abscissa (geometric mean for log bins).
+    pub representative: f64,
+}
+
+impl Bin {
+    /// Width of the bin.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Splits `[lo, hi]` into `n` logarithmically spaced bins whose
+/// representative point is the geometric mean of the edges.
+///
+/// # Panics
+///
+/// Panics if `lo <= 0`, `hi <= lo`, or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_numerics::quadrature::log_bins;
+///
+/// let bins = log_bins(0.1, 100.0, 3);
+/// assert_eq!(bins.len(), 3);
+/// assert!((bins[0].lo - 0.1).abs() < 1e-12);
+/// assert!((bins[2].hi - 100.0).abs() < 1e-9);
+/// // Representative is the geometric mean of the edges.
+/// let b = &bins[1];
+/// assert!((b.representative - (b.lo * b.hi).sqrt()).abs() < 1e-9);
+/// ```
+pub fn log_bins(lo: f64, hi: f64, n: usize) -> Vec<Bin> {
+    assert!(lo > 0.0 && hi > lo && n > 0, "invalid log_bins arguments");
+    let (llo, lhi) = (lo.log10(), hi.log10());
+    (0..n)
+        .map(|i| {
+            let a = 10f64.powf(llo + (lhi - llo) * i as f64 / n as f64);
+            let b = 10f64.powf(llo + (lhi - llo) * (i + 1) as f64 / n as f64);
+            Bin {
+                lo: a,
+                hi: b,
+                representative: (a * b).sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// Splits `[lo, hi]` into `n` equal-width bins with midpoint representatives.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo` or `n == 0`.
+pub fn linear_bins(lo: f64, hi: f64, n: usize) -> Vec<Bin> {
+    assert!(hi > lo && n > 0, "invalid linear_bins arguments");
+    let h = (hi - lo) / n as f64;
+    (0..n)
+        .map(|i| {
+            let a = lo + h * i as f64;
+            let b = lo + h * (i + 1) as f64;
+            Bin {
+                lo: a,
+                hi: b,
+                representative: 0.5 * (a + b),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_linear_function_exact() {
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let expect = {
+            let b = 3.0;
+            b * b + b // integral of 2x+1 from 0 to 3
+        };
+        assert!((trapezoid(&xs, &ys) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_fn_converges_quadratically() {
+        let exact = 1.0 - (-1.0f64).exp(); // ∫0..1 e^-x
+        let coarse = (trapezoid_fn(|x| (-x).exp(), 0.0, 1.0, 10) - exact).abs();
+        let fine = (trapezoid_fn(|x| (-x).exp(), 0.0, 1.0, 100) - exact).abs();
+        assert!(fine < coarse / 50.0);
+    }
+
+    #[test]
+    fn bins_tile_the_domain() {
+        let bins = log_bins(0.1, 100.0, 7);
+        for w in bins.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-9 * w[0].hi);
+        }
+        let lins = linear_bins(0.0, 10.0, 5);
+        assert!((lins.iter().map(Bin::width).sum::<f64>() - 10.0).abs() < 1e-12);
+        for b in &lins {
+            assert!(b.representative > b.lo && b.representative < b.hi);
+        }
+    }
+
+    #[test]
+    fn binned_sum_approximates_integral() {
+        // ∫ x^-2 over [1, 100] = 1 - 0.01 = 0.99, via representative * width.
+        let bins = log_bins(1.0, 100.0, 400);
+        let approx: f64 = bins
+            .iter()
+            .map(|b| b.representative.powi(-2) * b.width())
+            .sum();
+        assert!((approx - 0.99).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn trapezoid_length_mismatch_panics() {
+        let _ = trapezoid(&[0.0, 1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid log_bins")]
+    fn log_bins_rejects_nonpositive() {
+        let _ = log_bins(0.0, 1.0, 3);
+    }
+}

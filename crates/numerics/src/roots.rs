@@ -1,0 +1,168 @@
+//! Bisection root finding.
+//!
+//! Used for critical-charge extraction in `finrad-sram`: the injected pulse
+//! charge at which the cell state flips is the root of
+//! `f(q) = flip_margin(q)`, a monotone but non-smooth function for which
+//! bisection is the robust choice.
+
+use crate::NumericsError;
+
+/// Result of a bisection search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Root {
+    /// Approximate root location.
+    pub x: f64,
+    /// Residual `f(x)` at the returned point.
+    pub residual: f64,
+    /// Number of bisection iterations performed.
+    pub iterations: usize,
+}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection.
+///
+/// The function values at the endpoints must have opposite signs (a value of
+/// exactly zero at either endpoint is returned immediately).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::RootNotBracketed`] if `f(lo)` and `f(hi)` have
+/// the same sign.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_numerics::roots::bisect;
+///
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root.x - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), finrad_numerics::NumericsError>(())
+/// ```
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    max_iter: usize,
+) -> Result<Root, NumericsError> {
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(Root {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(Root {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::RootNotBracketed { lo, hi });
+    }
+    let mut iterations = 0;
+    while (b - a).abs() > xtol && iterations < max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        iterations += 1;
+        if fm == 0.0 {
+            return Ok(Root {
+                x: mid,
+                residual: 0.0,
+                iterations,
+            });
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    let x = 0.5 * (a + b);
+    Ok(Root {
+        x,
+        residual: f(x),
+        iterations,
+    })
+}
+
+/// Expands `[lo, hi]` geometrically upward until `f` changes sign, then
+/// bisects. Useful when only a lower bound on the root is known (e.g.
+/// critical charge searches that start from an optimistic guess).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::RootNotBracketed`] if no sign change is found
+/// within `max_expansions` doublings of the interval.
+pub fn bisect_with_expansion(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    mut hi: f64,
+    xtol: f64,
+    max_iter: usize,
+    max_expansions: usize,
+) -> Result<Root, NumericsError> {
+    let flo = f(lo);
+    let mut expansions = 0;
+    while f(hi).signum() == flo.signum() {
+        expansions += 1;
+        if expansions > max_expansions {
+            return Err(NumericsError::RootNotBracketed { lo, hi });
+        }
+        hi = lo + (hi - lo) * 2.0;
+    }
+    bisect(f, lo, hi, xtol, max_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(r.iterations > 10);
+    }
+
+    #[test]
+    fn exact_zero_at_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap();
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn unbracketed_is_error() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(NumericsError::RootNotBracketed { .. })
+        ));
+    }
+
+    #[test]
+    fn step_function_root() {
+        // Non-smooth monotone function, like a flip/no-flip indicator.
+        let r = bisect(|x| if x < 0.37 { -1.0 } else { 1.0 }, 0.0, 1.0, 1e-9, 100).unwrap();
+        assert!((r.x - 0.37).abs() < 1e-8);
+    }
+
+    #[test]
+    fn expansion_finds_far_root() {
+        let r = bisect_with_expansion(|x| x - 1000.0, 0.0, 1.0, 1e-9, 200, 30).unwrap();
+        assert!((r.x - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expansion_gives_up() {
+        assert!(matches!(
+            bisect_with_expansion(|_| 1.0, 0.0, 1.0, 1e-9, 100, 5),
+            Err(NumericsError::RootNotBracketed { .. })
+        ));
+    }
+}

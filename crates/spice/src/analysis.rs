@@ -1,0 +1,787 @@
+//! DC operating-point and transient analyses.
+//!
+//! Both analyses assemble the modified nodal analysis (MNA) system
+//! `J(x)·x = b(x)` and solve it by damped Newton iteration with the dense
+//! LU factorization from `finrad-numerics`. Capacitors enter the transient
+//! system through their backward-Euler companion model `i = C/h·(v − v⁻)`;
+//! backward Euler is L-stable, which the stiff femtosecond-pulse →
+//! picosecond-settling dynamics of an SRAM upset demand.
+
+use crate::circuit::Circuit;
+use crate::waveform::{Probe, TransientResult};
+use crate::{NodeId, SpiceError};
+use finrad_numerics::matrix::{LuFactors, Matrix};
+use std::collections::HashMap;
+
+/// Newton-iteration tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Convergence threshold on the largest voltage update, volts.
+    pub vtol: f64,
+    /// Maximum Newton iterations per solve.
+    pub max_iter: usize,
+    /// Per-iteration voltage-update clamp (damping), volts.
+    pub max_step: f64,
+    /// Conductance from every node to ground that keeps the system
+    /// non-singular when subcircuits float, siemens.
+    pub gmin: f64,
+    /// Hard clamp on node voltages during iteration (keeps the EKV
+    /// exponentials out of overflow territory and Newton out of spurious
+    /// far-away basins), volts.
+    pub v_clamp: (f64, f64),
+    /// Maximum number of times a failing transient step is halved before
+    /// giving up (SPICE-style timestep rejection).
+    pub max_step_halvings: u32,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            vtol: 1.0e-7,
+            max_iter: 120,
+            max_step: 0.4,
+            gmin: 1.0e-12,
+            v_clamp: (-2.0, 3.0),
+            max_step_halvings: 12,
+        }
+    }
+}
+
+/// Solved static state of a circuit.
+#[derive(Debug, Clone)]
+pub struct OpPoint {
+    node_voltages: Vec<f64>,
+    vsource_currents: Vec<f64>,
+}
+
+impl OpPoint {
+    /// Voltage of `node` (ground returns 0).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.node_voltages[node.index()]
+    }
+
+    /// All node voltages, indexed by node id (entry 0 is ground).
+    pub fn node_voltages(&self) -> &[f64] {
+        &self.node_voltages
+    }
+
+    /// Current through the `k`-th voltage source (positive flowing from the
+    /// positive terminal through the source to the negative terminal).
+    pub fn vsource_current(&self, k: usize) -> f64 {
+        self.vsource_currents[k]
+    }
+}
+
+/// Assembles and solves one Newton iteration's linearized MNA system.
+struct Assembler<'c> {
+    ckt: &'c Circuit,
+    n_nodes: usize,
+    dim: usize,
+}
+
+impl<'c> Assembler<'c> {
+    fn new(ckt: &'c Circuit) -> Self {
+        let n_nodes = ckt.node_count();
+        let dim = (n_nodes - 1) + ckt.vsource_count();
+        Self { ckt, n_nodes, dim }
+    }
+
+    /// Row/column of a node in the reduced system, or `None` for ground.
+    fn idx(&self, node: NodeId) -> Option<usize> {
+        (node.index() != 0).then(|| node.index() - 1)
+    }
+
+    fn branch_idx(&self, k: usize) -> usize {
+        (self.n_nodes - 1) + k
+    }
+
+    /// Builds the linearized system at candidate node voltages `v`
+    /// (length = node_count, entry 0 = ground = 0).
+    ///
+    /// `cap_state`: `Some((dt, v_prev))` enables backward-Euler companion
+    /// models for capacitors; `None` leaves capacitors open (DC).
+    /// `time`: evaluation time for source waveforms.
+    fn assemble(
+        &self,
+        v: &[f64],
+        cap_state: Option<(f64, &[f64])>,
+        time: f64,
+        gmin: f64,
+    ) -> (Matrix, Vec<f64>) {
+        let mut j = Matrix::zeros(self.dim, self.dim);
+        let mut b = vec![0.0; self.dim];
+
+        // gmin to ground on every non-ground node.
+        for n in 0..(self.n_nodes - 1) {
+            j.add_at(n, n, gmin);
+        }
+
+        // Resistors.
+        for r in &self.ckt.resistors {
+            let (ia, ib) = (self.idx(r.a), self.idx(r.b));
+            stamp_conductance(&mut j, ia, ib, r.conductance);
+        }
+
+        // Capacitors (transient only).
+        if let Some((dt, v_prev)) = cap_state {
+            for c in &self.ckt.capacitors {
+                let geq = c.farads / dt;
+                let (ia, ib) = (self.idx(c.a), self.idx(c.b));
+                stamp_conductance(&mut j, ia, ib, geq);
+                // Companion current source: geq * (v_a_prev - v_b_prev)
+                // flowing the same way as the conductance.
+                let ieq = geq * (v_prev[c.a.index()] - v_prev[c.b.index()]);
+                if let Some(a) = ia {
+                    b[a] += ieq;
+                }
+                if let Some(bb) = ib {
+                    b[bb] -= ieq;
+                }
+            }
+        }
+
+        // Current sources: current leaves `from`, enters `to`.
+        for s in &self.ckt.isources {
+            let val = s.waveform.value(time);
+            if let Some(f) = self.idx(s.from) {
+                b[f] -= val;
+            }
+            if let Some(t) = self.idx(s.to) {
+                b[t] += val;
+            }
+        }
+
+        // Voltage sources: branch current unknown + constraint row.
+        for (k, vs) in self.ckt.vsources.iter().enumerate() {
+            let br = self.branch_idx(k);
+            if let Some(p) = self.idx(vs.pos) {
+                j.add_at(p, br, 1.0);
+                j.add_at(br, p, 1.0);
+            }
+            if let Some(n) = self.idx(vs.neg) {
+                j.add_at(n, br, -1.0);
+                j.add_at(br, n, -1.0);
+            }
+            b[br] = vs.volts;
+        }
+
+        // MOSFETs: linearized drain current with RHS correction so that the
+        // solution of the linear system is the Newton update.
+        for m in &self.ckt.mosfets {
+            let (vg, vd, vs) = (
+                v[m.gate.index()],
+                v[m.drain.index()],
+                v[m.source.index()],
+            );
+            let ss = m.device.evaluate(vg, vd, vs);
+            // i_d(v) ≈ ss.id + gg·(vg'-vg) + gd·(vd'-vd) + gs·(vs'-vs)
+            //        = [gg·vg' + gd·vd' + gs·vs'] + i_rhs
+            let i_rhs = ss.id - ss.did_dvg * vg - ss.did_dvd * vd - ss.did_dvs * vs;
+            let (ig, id_, is_) = (self.idx(m.gate), self.idx(m.drain), self.idx(m.source));
+            // Current flows into drain, out of source.
+            if let Some(d) = id_ {
+                if let Some(g) = ig {
+                    j.add_at(d, g, ss.did_dvg);
+                }
+                j.add_at(d, id_.expect("drain row"), ss.did_dvd);
+                if let Some(s) = is_ {
+                    j.add_at(d, s, ss.did_dvs);
+                }
+                b[d] -= i_rhs;
+            }
+            if let Some(s_row) = is_ {
+                if let Some(g) = ig {
+                    j.add_at(s_row, g, -ss.did_dvg);
+                }
+                if let Some(d) = id_ {
+                    j.add_at(s_row, d, -ss.did_dvd);
+                }
+                j.add_at(s_row, s_row, -ss.did_dvs);
+                b[s_row] += i_rhs;
+            }
+        }
+
+        (j, b)
+    }
+
+    /// Runs damped Newton from `v_guess`, returning node voltages (full,
+    /// including ground) and voltage-source branch currents.
+    fn newton(
+        &self,
+        v_guess: &[f64],
+        cap_state: Option<(f64, &[f64])>,
+        time: f64,
+        opts: &NewtonOptions,
+        gmin: f64,
+        context: &str,
+    ) -> Result<(Vec<f64>, Vec<f64>), SpiceError> {
+        let mut v = v_guess.to_vec();
+        let mut branch = vec![0.0; self.ckt.vsource_count()];
+        let mut last_delta = f64::INFINITY;
+
+        for iter in 0..opts.max_iter {
+            let (j, b) = self.assemble(&v, cap_state, time, gmin);
+            let lu = LuFactors::factor(j).map_err(|_| SpiceError::Singular {
+                context: context.to_owned(),
+            })?;
+            let x = lu.solve(&b).map_err(|_| SpiceError::Singular {
+                context: context.to_owned(),
+            })?;
+
+            // Extract, damp and clamp the update. Convergence is judged on
+            // the *applied* change: a node parked at the voltage clamp (the
+            // stand-in for junction clamping under mA-scale strike pulses)
+            // is stationary and must count as converged even though the
+            // unclamped Newton target lies beyond the rail.
+            let mut max_applied = 0.0f64;
+            let mut v_new = vec![0.0; self.n_nodes];
+            for n in 1..self.n_nodes {
+                let target = x[n - 1];
+                let delta = target - v[n];
+                let damped = delta.clamp(-opts.max_step, opts.max_step);
+                let clamped = (v[n] + damped).clamp(opts.v_clamp.0, opts.v_clamp.1);
+                max_applied = max_applied.max((clamped - v[n]).abs());
+                v_new[n] = clamped;
+            }
+            for k in 0..branch.len() {
+                branch[k] = x[self.branch_idx(k)];
+            }
+            v = v_new;
+            last_delta = max_applied;
+            if max_applied < opts.vtol && iter > 0 {
+                return Ok((v, branch));
+            }
+        }
+        Err(SpiceError::NoConvergence {
+            context: context.to_owned(),
+            iterations: opts.max_iter,
+            last_delta,
+        })
+    }
+}
+
+/// Advances the transient solution from `t` to `t + dt`, recursively
+/// halving the step (SPICE-style timestep rejection) when Newton fails —
+/// the remedy for steps that straddle the cell's metastable transition.
+fn advance_step(
+    asm: &Assembler<'_>,
+    v: Vec<f64>,
+    t: f64,
+    dt: f64,
+    opts: &NewtonOptions,
+    depth: u32,
+) -> Result<Vec<f64>, SpiceError> {
+    match asm.newton(&v, Some((dt, &v)), t + dt, opts, opts.gmin, "transient step") {
+        Ok((vn, _branch)) => Ok(vn),
+        Err(e) => {
+            if depth >= opts.max_step_halvings {
+                return Err(e);
+            }
+            let half = dt / 2.0;
+            let mid = advance_step(asm, v, t, half, opts, depth + 1)?;
+            advance_step(asm, mid, t + half, half, opts, depth + 1)
+        }
+    }
+}
+
+fn stamp_conductance(j: &mut Matrix, ia: Option<usize>, ib: Option<usize>, g: f64) {
+    if let Some(a) = ia {
+        j.add_at(a, a, g);
+    }
+    if let Some(b) = ib {
+        j.add_at(b, b, g);
+    }
+    if let (Some(a), Some(b)) = (ia, ib) {
+        j.add_at(a, b, -g);
+        j.add_at(b, a, -g);
+    }
+}
+
+/// Solves the DC operating point (capacitors open, sources at `t = 0`).
+///
+/// Robustness comes from g-min stepping: the network is first solved with a
+/// large leak conductance to ground, which is then relaxed geometrically to
+/// `opts.gmin`, warm-starting each stage from the previous solution.
+///
+/// # Errors
+///
+/// * [`SpiceError::InvalidElement`] for a degenerate netlist.
+/// * [`SpiceError::NoConvergence`] / [`SpiceError::Singular`] if the final
+///   g-min stage fails.
+pub fn dc_operating_point(ckt: &Circuit, opts: &NewtonOptions) -> Result<OpPoint, SpiceError> {
+    dc_operating_point_from(ckt, opts, &HashMap::new())
+}
+
+/// Like [`dc_operating_point`] but starting the Newton iteration from the
+/// given node-voltage guesses — the way to select *which* stable state a
+/// bistable circuit (like an SRAM cell) settles into.
+///
+/// # Errors
+///
+/// Same as [`dc_operating_point`].
+pub fn dc_operating_point_from(
+    ckt: &Circuit,
+    opts: &NewtonOptions,
+    guess: &HashMap<NodeId, f64>,
+) -> Result<OpPoint, SpiceError> {
+    ckt.validate()?;
+    let asm = Assembler::new(ckt);
+    let mut v = vec![0.0; ckt.node_count()];
+    for (&node, &val) in guess {
+        v[node.index()] = val;
+    }
+
+    // A direct solve from the guess preserves the basin of attraction of
+    // bistable circuits (an SRAM cell's state); g-min stepping below is the
+    // fallback for cold starts, where the strong initial leak would
+    // otherwise wash the guess out.
+    if let Ok((vn, branch)) = asm.newton(&v, None, 0.0, opts, opts.gmin, "dc operating point") {
+        return Ok(OpPoint {
+            node_voltages: vn,
+            vsource_currents: branch,
+        });
+    }
+
+    let mut result = None;
+    let mut gmin = 1.0e-3f64;
+    loop {
+        gmin = gmin.max(opts.gmin);
+        match asm.newton(&v, None, 0.0, opts, gmin, "dc operating point") {
+            Ok((vn, branch)) => {
+                v = vn.clone();
+                result = Some((vn, branch));
+            }
+            Err(e) => {
+                // A failed intermediate stage is tolerable; a failed final
+                // stage is fatal.
+                if gmin <= opts.gmin {
+                    return Err(e);
+                }
+            }
+        }
+        if gmin <= opts.gmin {
+            break;
+        }
+        gmin *= 1.0e-3;
+    }
+    let (vn, branch) = result.ok_or(SpiceError::NoConvergence {
+        context: "dc operating point".to_owned(),
+        iterations: opts.max_iter,
+        last_delta: f64::NAN,
+    })?;
+    Ok(OpPoint {
+        node_voltages: vn,
+        vsource_currents: branch,
+    })
+}
+
+/// One fixed-timestep phase of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Duration of the phase, seconds.
+    pub duration: f64,
+    /// Timestep within the phase, seconds.
+    pub dt: f64,
+}
+
+/// A multi-phase timestep plan: fine steps around the pulse, coarse steps
+/// for the settling tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeStepPlan {
+    phases: Vec<Phase>,
+}
+
+impl TimeStepPlan {
+    /// Builds a plan from `(duration, dt)` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration or dt is not strictly positive, or no phase
+    /// is given.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        for p in &phases {
+            assert!(
+                p.duration > 0.0 && p.dt > 0.0 && p.dt <= p.duration,
+                "invalid phase {p:?}"
+            );
+        }
+        Self { phases }
+    }
+
+    /// A plan suited to SRAM upset simulation: resolves a pulse of width
+    /// `pulse_width` starting at `pulse_start` with ~8 steps across it,
+    /// then relaxes over `settle` with coarse steps.
+    pub fn for_pulse(pulse_start: f64, pulse_width: f64, settle: f64) -> Self {
+        let fine_dt = (pulse_width / 8.0).max(1.0e-16);
+        let fine_span = pulse_start + pulse_width * 2.0;
+        Self::new(vec![
+            Phase {
+                duration: fine_span,
+                dt: fine_dt,
+            },
+            Phase {
+                duration: settle,
+                dt: (settle / 400.0).max(fine_dt),
+            },
+        ])
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// The phases of the plan.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+}
+
+/// Runs a transient simulation from explicit initial node voltages
+/// (SPICE's `UIC` mode): capacitor state starts at the given voltages and
+/// no DC operating point is computed first. Nodes absent from
+/// `initial_conditions` start at 0 V.
+///
+/// `probes` selects which node voltages are recorded at every step.
+///
+/// # Errors
+///
+/// Propagates Newton failures ([`SpiceError::NoConvergence`],
+/// [`SpiceError::Singular`]) and netlist validation errors.
+pub fn transient(
+    ckt: &Circuit,
+    plan: &TimeStepPlan,
+    initial_conditions: &HashMap<NodeId, f64>,
+    probes: &[NodeId],
+    opts: &NewtonOptions,
+) -> Result<TransientResult, SpiceError> {
+    ckt.validate()?;
+    let asm = Assembler::new(ckt);
+
+    let mut v = vec![0.0; ckt.node_count()];
+    for (&node, &val) in initial_conditions {
+        v[node.index()] = val;
+    }
+
+    let mut result = TransientResult::new(
+        probes
+            .iter()
+            .map(|&n| Probe {
+                node: n,
+                name: ckt.node_name(n).to_owned(),
+            })
+            .collect(),
+    );
+    result.push_sample(0.0, probes.iter().map(|&n| v[n.index()]));
+
+    let mut t = 0.0f64;
+    for phase in plan.phases() {
+        let steps = (phase.duration / phase.dt).round().max(1.0) as usize;
+        for _ in 0..steps {
+            v = advance_step(&asm, v, t, phase.dt, opts, 0)?;
+            t += phase.dt;
+            result.push_sample(t, probes.iter().map(|&n| v[n.index()]));
+        }
+    }
+    result.set_final_voltages(v);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+    use finrad_finfet::{FinFet, Polarity, Technology};
+
+    fn opts() -> NewtonOptions {
+        NewtonOptions::default()
+    }
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource(vin, Circuit::GROUND, 1.2);
+        ckt.add_resistor(vin, mid, 2.0e3);
+        ckt.add_resistor(mid, Circuit::GROUND, 1.0e3);
+        let op = dc_operating_point(&ckt, &opts()).unwrap();
+        assert!((op.voltage(mid) - 0.4).abs() < 1e-9);
+        assert!((op.voltage(vin) - 1.2).abs() < 1e-9);
+        // Source current: 1.2 V over 3 kΩ, flowing out of + terminal =>
+        // negative through-source convention current.
+        assert!((op.vsource_current(0).abs() - 0.4e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_resistor(out, Circuit::GROUND, 1.0e3);
+        ckt.add_isource(Circuit::GROUND, out, SourceWaveform::Dc(1.0e-3));
+        let op = dc_operating_point(&ckt, &opts()).unwrap();
+        assert!((op.voltage(out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_inverter_dc_transfer() {
+        // NMOS with resistive load: out high when gate low, low when high.
+        let tech = Technology::soi_finfet_14nm();
+        let build = |vgate: f64| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let g = ckt.node("g");
+            let d = ckt.node("d");
+            ckt.add_vsource(vdd, Circuit::GROUND, 0.8);
+            ckt.add_vsource(g, Circuit::GROUND, vgate);
+            ckt.add_resistor(vdd, d, 50.0e3);
+            ckt.add_mosfet(d, g, Circuit::GROUND, FinFet::new(&tech, Polarity::Nmos, 1));
+            let op = dc_operating_point(&ckt, &opts()).unwrap();
+            op.voltage(d)
+        };
+        let out_low_gate = build(0.0);
+        let out_high_gate = build(0.8);
+        assert!(out_low_gate > 0.7, "out {out_low_gate}");
+        assert!(out_high_gate < 0.2, "out {out_high_gate}");
+    }
+
+    #[test]
+    fn cmos_inverter_rails() {
+        let tech = Technology::soi_finfet_14nm();
+        let build = |vin: f64| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let a = ckt.node("a");
+            let y = ckt.node("y");
+            ckt.add_vsource(vdd, Circuit::GROUND, 0.8);
+            ckt.add_vsource(a, Circuit::GROUND, vin);
+            ckt.add_mosfet(y, a, Circuit::GROUND, FinFet::new(&tech, Polarity::Nmos, 1));
+            ckt.add_mosfet(y, a, vdd, FinFet::new(&tech, Polarity::Pmos, 1));
+            let op = dc_operating_point(&ckt, &opts()).unwrap();
+            op.voltage(y)
+        };
+        assert!(build(0.0) > 0.78);
+        assert!(build(0.8) < 0.02);
+        // Transition region: output between rails at mid input.
+        let mid = build(0.4);
+        assert!(mid > 0.05 && mid < 0.78, "mid {mid}");
+    }
+
+    #[test]
+    fn rc_discharge_matches_analytic() {
+        // 1 kΩ || 1 pF from 1 V: v(t) = e^{-t/RC}.
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add_resistor(n, Circuit::GROUND, 1.0e3);
+        ckt.add_capacitor(n, Circuit::GROUND, 1.0e-12);
+        let tau = 1.0e-9;
+        let plan = TimeStepPlan::new(vec![Phase {
+            duration: 2.0 * tau,
+            dt: tau / 2000.0,
+        }]);
+        let mut ic = HashMap::new();
+        ic.insert(n, 1.0);
+        let res = transient(&ckt, &plan, &ic, &[n], &opts()).unwrap();
+        let (t_end, v_end) = res.last_sample(0).unwrap();
+        let expect = (-t_end / tau).exp();
+        assert!(
+            (v_end - expect).abs() < 5e-3,
+            "v({t_end}) = {v_end} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn rc_charge_through_pulse() {
+        // Rectangular current pulse into a capacitor: ΔV = Q/C.
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add_capacitor(n, Circuit::GROUND, 1.0e-15);
+        // Tiny leak so the matrix is well-conditioned.
+        ckt.add_resistor(n, Circuit::GROUND, 1.0e12);
+        let q = 0.2e-15; // 0.2 fC into 1 fF => 0.2 V
+        ckt.add_isource(
+            Circuit::GROUND,
+            n,
+            SourceWaveform::rectangular_charge(q, 1.0e-14, 1.0e-14),
+        );
+        let plan = TimeStepPlan::new(vec![Phase {
+            duration: 5.0e-14,
+            dt: 2.5e-16,
+        }]);
+        let res = transient(&ckt, &plan, &HashMap::new(), &[n], &opts()).unwrap();
+        let (_t, v_end) = res.last_sample(0).unwrap();
+        assert!((v_end - 0.2).abs() < 0.01, "v_end {v_end}");
+    }
+
+    #[test]
+    fn nonconvergence_is_reported_not_hung() {
+        // A pathological circuit: voltage source loop fighting itself is
+        // caught by validation instead.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(a, a, 1.0);
+        assert!(matches!(
+            dc_operating_point(&ckt, &opts()),
+            Err(SpiceError::InvalidElement(_))
+        ));
+    }
+
+    #[test]
+    fn random_resistive_networks_satisfy_kirchhoff() {
+        // Random ladder/mesh networks: the DC solution must satisfy KCL at
+        // every non-source node (checked by reassembling branch currents).
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..20 {
+            let n_nodes = 3 + (trial % 5);
+            let mut ckt = Circuit::new();
+            let nodes: Vec<_> = (0..n_nodes)
+                .map(|i| ckt.node(&format!("n{i}")))
+                .collect();
+            ckt.add_vsource(nodes[0], Circuit::GROUND, 1.0 + next());
+            // Chain guaranteeing connectivity, plus random extra edges.
+            let mut edges = Vec::new();
+            for w in 0..(n_nodes - 1) {
+                edges.push((nodes[w], nodes[w + 1], 100.0 + 1.0e4 * next()));
+            }
+            edges.push((nodes[n_nodes - 1], Circuit::GROUND, 500.0 + 1.0e3 * next()));
+            for _ in 0..n_nodes {
+                let a = nodes[(next() * n_nodes as f64) as usize % n_nodes];
+                let b = nodes[(next() * n_nodes as f64) as usize % n_nodes];
+                if a != b {
+                    edges.push((a, b, 50.0 + 2.0e4 * next()));
+                }
+            }
+            for &(a, b, r) in &edges {
+                ckt.add_resistor(a, b, r);
+            }
+            let op = dc_operating_point(&ckt, &opts()).unwrap();
+            // KCL at each non-driven node.
+            for &node in &nodes[1..] {
+                let mut sum = 0.0;
+                for &(a, b, r) in &edges {
+                    if a == node {
+                        sum += (op.voltage(a) - op.voltage(b)) / r;
+                    } else if b == node {
+                        sum += (op.voltage(b) - op.voltage(a)) / r;
+                    }
+                }
+                assert!(sum.abs() < 1e-9, "trial {trial}: KCL residual {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn nonconvergence_error_carries_context() {
+        // Starve the iteration budget to exercise the failure path.
+        let tech = Technology::soi_finfet_14nm();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let y = ckt.node("y");
+        ckt.add_vsource(vdd, Circuit::GROUND, 0.8);
+        ckt.add_vsource(a, Circuit::GROUND, 0.4);
+        ckt.add_mosfet(y, a, Circuit::GROUND, FinFet::new(&tech, Polarity::Nmos, 1));
+        ckt.add_mosfet(y, a, vdd, FinFet::new(&tech, Polarity::Pmos, 1));
+        let starved = NewtonOptions {
+            max_iter: 1,
+            ..NewtonOptions::default()
+        };
+        match dc_operating_point(&ckt, &starved) {
+            Err(SpiceError::NoConvergence { context, .. }) => {
+                assert!(context.contains("dc operating point"));
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn series_vsource_current_consistent() {
+        // Two sources in a loop with a resistor: the branch currents of
+        // both sources must match the Ohm's-law loop current.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(a, Circuit::GROUND, 2.0);
+        ckt.add_vsource(b, Circuit::GROUND, 0.5);
+        ckt.add_resistor(a, b, 1.0e3);
+        let op = dc_operating_point(&ckt, &opts()).unwrap();
+        let i_loop = (2.0 - 0.5) / 1.0e3;
+        // Current flows out of the + terminal of source A through R into B.
+        assert!((op.vsource_current(0) + i_loop).abs() < 1e-9);
+        assert!((op.vsource_current(1) - i_loop).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitive_divider_transient() {
+        // Charge injected into two series caps divides by capacitance:
+        // dV across each is Q/C.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let mid = ckt.node("mid");
+        ckt.add_capacitor(top, mid, 1.0e-15);
+        ckt.add_capacitor(mid, Circuit::GROUND, 3.0e-15);
+        ckt.add_resistor(top, Circuit::GROUND, 1.0e15); // leak for matrix rank
+        ckt.add_resistor(mid, Circuit::GROUND, 1.0e15);
+        let q = 0.4e-15;
+        ckt.add_isource(
+            Circuit::GROUND,
+            top,
+            SourceWaveform::rectangular_charge(q, 0.0, 1.0e-14),
+        );
+        let plan = TimeStepPlan::new(vec![Phase {
+            duration: 1.2e-14,
+            dt: 1.0e-16,
+        }]);
+        let res = transient(&ckt, &plan, &HashMap::new(), &[top, mid], &opts()).unwrap();
+        let v_top = res.final_voltage(top);
+        let v_mid = res.final_voltage(mid);
+        // Series combination 0.75 fF sees 0.4 fC => 0.533 V at top;
+        // mid node: Q/C2 = 0.133 V.
+        assert!((v_top - q / 0.75e-15).abs() < 0.01, "v_top {v_top}");
+        assert!((v_mid - q / 3.0e-15).abs() < 0.01, "v_mid {v_mid}");
+    }
+
+    #[test]
+    fn set_vsource_voltage_retargets() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(a, Circuit::GROUND, 1.0);
+        ckt.add_resistor(a, Circuit::GROUND, 1.0e3);
+        ckt.set_vsource_voltage(a, 0.25);
+        let op = dc_operating_point(&ckt, &opts()).unwrap();
+        assert!((op.voltage(a) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ground-referenced source")]
+    fn set_vsource_voltage_requires_existing_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor(a, Circuit::GROUND, 1.0e3);
+        ckt.set_vsource_voltage(a, 0.5);
+    }
+
+    #[test]
+    fn plan_construction() {
+        let plan = TimeStepPlan::for_pulse(1.0e-14, 1.5e-14, 2.0e-11);
+        assert!(plan.total_time() > 2.0e-11);
+        assert_eq!(plan.phases().len(), 2);
+        assert!(plan.phases()[0].dt < plan.phases()[1].dt);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid phase")]
+    fn plan_rejects_bad_phase() {
+        let _ = TimeStepPlan::new(vec![Phase {
+            duration: 1.0,
+            dt: 0.0,
+        }]);
+    }
+}

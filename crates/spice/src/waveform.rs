@@ -1,0 +1,177 @@
+//! Probed transient waveforms.
+
+use crate::NodeId;
+use std::io::{self, Write};
+
+/// A probed node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Probe {
+    /// The probed node.
+    pub node: NodeId,
+    /// Its netlist name.
+    pub name: String,
+}
+
+/// Result of a transient analysis: time samples of the probed nodes plus
+/// the final full node-voltage vector.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    probes: Vec<Probe>,
+    times: Vec<f64>,
+    /// `samples[p][k]` = voltage of probe `p` at time `times[k]`.
+    samples: Vec<Vec<f64>>,
+    final_voltages: Vec<f64>,
+}
+
+impl TransientResult {
+    pub(crate) fn new(probes: Vec<Probe>) -> Self {
+        let n = probes.len();
+        Self {
+            probes,
+            times: Vec::new(),
+            samples: vec![Vec::new(); n],
+            final_voltages: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_sample(&mut self, t: f64, values: impl Iterator<Item = f64>) {
+        self.times.push(t);
+        for (trace, v) in self.samples.iter_mut().zip(values) {
+            trace.push(v);
+        }
+    }
+
+    pub(crate) fn set_final_voltages(&mut self, v: Vec<f64>) {
+        self.final_voltages = v;
+    }
+
+    /// The probes, in recording order.
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    /// Sample times, seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage trace of probe `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn trace(&self, p: usize) -> &[f64] {
+        &self.samples[p]
+    }
+
+    /// Last `(time, voltage)` sample of probe `p`, if any.
+    pub fn last_sample(&self, p: usize) -> Option<(f64, f64)> {
+        let t = *self.times.last()?;
+        let v = *self.samples.get(p)?.last()?;
+        Some((t, v))
+    }
+
+    /// Final voltage of an arbitrary node (not just probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id does not belong to the simulated circuit.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        self.final_voltages[node.index()]
+    }
+
+    /// Writes the probed traces as CSV (`time,probe1,probe2,…`) to any
+    /// writer — a `&mut Vec<u8>`, a file, or stdout. A mutable reference
+    /// to a writer works too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "time_s")?;
+        for p in &self.probes {
+            write!(w, ",{}", p.name)?;
+        }
+        writeln!(w)?;
+        for (k, &t) in self.times.iter().enumerate() {
+            write!(w, "{t:e}")?;
+            for trace in &self.samples {
+                write!(w, ",{:e}", trace[k])?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Extreme value reached by probe `p` over the whole run:
+    /// `(min, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or no samples were recorded.
+    pub fn excursion(&self, p: usize) -> (f64, f64) {
+        let trace = &self.samples[p];
+        assert!(!trace.is_empty(), "no samples recorded");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in trace {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn recording_and_queries() {
+        let mut c = Circuit::new();
+        let n = c.node("x");
+        let mut r = TransientResult::new(vec![Probe {
+            node: n,
+            name: "x".to_owned(),
+        }]);
+        r.push_sample(0.0, [1.0].into_iter());
+        r.push_sample(1.0, [0.5].into_iter());
+        r.push_sample(2.0, [0.8].into_iter());
+        r.set_final_voltages(vec![0.0, 0.8]);
+
+        assert_eq!(r.times(), &[0.0, 1.0, 2.0]);
+        assert_eq!(r.trace(0), &[1.0, 0.5, 0.8]);
+        assert_eq!(r.last_sample(0), Some((2.0, 0.8)));
+        assert_eq!(r.final_voltage(n), 0.8);
+        assert_eq!(r.excursion(0), (0.5, 1.0));
+        assert_eq!(r.probes()[0].name, "x");
+    }
+
+    #[test]
+    fn csv_export_round_trips_values() {
+        let mut c = Circuit::new();
+        let n = c.node("q");
+        let mut r = TransientResult::new(vec![Probe {
+            node: n,
+            name: "q".to_owned(),
+        }]);
+        r.push_sample(0.0, [0.8].into_iter());
+        r.push_sample(1.0e-12, [0.4].into_iter());
+        let mut buf = Vec::new();
+        r.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "time_s,q");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0e0,") || lines[1].starts_with("0,"));
+        assert!(lines[2].contains("4e-1"));
+    }
+
+    #[test]
+    fn empty_result_is_benign() {
+        let r = TransientResult::new(vec![]);
+        assert!(r.times().is_empty());
+        assert!(r.last_sample(0).is_none());
+    }
+}

@@ -1,0 +1,500 @@
+//! Critical-charge extraction and POF characterization.
+//!
+//! The paper's Section 4: "to obtain POF, we consider the threshold voltage
+//! variation by performing 1000 MC simulations based on accurate SPICE
+//! simulations using the current model described in Section 3.3". Because
+//! the cell upset is monotone in injected charge, each Monte-Carlo sample
+//! is characterized by its **critical charge** (found by bisection over
+//! transient simulations); the POF curve is the empirical CDF of those
+//! critical charges (see [`crate::pof::PofCurve`]).
+
+use crate::cell::{CellState, SramCell, TransistorRole};
+use crate::pof::{PofCurve, PofTable, StrikeCombo};
+use crate::scenario::StrikeEvent;
+use finrad_finfet::{Technology, VariationModel};
+use finrad_spice::analysis::{self, NewtonOptions, TimeStepPlan};
+use finrad_spice::{PulseShape, SpiceError};
+use finrad_units::{Charge, Voltage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+/// Whether (and how) process variation enters the characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variation {
+    /// Nominal devices only: POF degenerates to the 0/1 step the paper
+    /// describes for the variation-free case.
+    Nominal,
+    /// Per-transistor ΔVth Monte Carlo with the given sample count
+    /// (the paper uses 1000).
+    MonteCarlo {
+        /// Number of sampled cells.
+        samples: usize,
+    },
+}
+
+/// Tuning knobs for the characterization transients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeOptions {
+    /// Pulse start time, seconds.
+    pub t_start: f64,
+    /// Pulse width override, seconds. `None` computes the transit time
+    /// τ = L²/(µ_fin·V_dd) from the technology (the paper's Eq. 2).
+    pub pulse_width: Option<f64>,
+    /// Effective fin mobility used for the Eq. 2 default width, cm²/(V·s).
+    pub fin_mobility_cm2: f64,
+    /// Settling time simulated after the pulse, seconds.
+    pub settle: f64,
+    /// Pulse shape (rectangular per the paper; triangular for the
+    /// pulse-shape study).
+    pub shape: PulseShape,
+    /// Upper bound of the critical-charge search, coulombs.
+    pub q_search_max: f64,
+    /// Relative tolerance of the critical-charge bisection.
+    pub bisect_rel_tol: f64,
+    /// Newton solver options.
+    pub newton: NewtonOptions,
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> Self {
+        Self {
+            t_start: 2.0e-15,
+            pulse_width: None,
+            fin_mobility_cm2: 300.0,
+            settle: 1.0e-11,
+            shape: PulseShape::Rectangular,
+            q_search_max: 5.0e-14,
+            bisect_rel_tol: 0.02,
+            newton: NewtonOptions::default(),
+        }
+    }
+}
+
+/// The characterization engine for one technology.
+///
+/// # Examples
+///
+/// ```no_run
+/// use finrad_finfet::Technology;
+/// use finrad_sram::{CellCharacterizer, CharacterizeOptions, StrikeCombo, StrikeTarget, Variation};
+/// use finrad_units::Voltage;
+///
+/// let ch = CellCharacterizer::new(Technology::soi_finfet_14nm(), CharacterizeOptions::default());
+/// let q = ch.critical_charge(
+///     Voltage::from_volts(0.8),
+///     StrikeCombo::single(StrikeTarget::I1),
+///     &Default::default(),
+/// )?;
+/// println!("Qcrit = {} electrons", q.electrons());
+/// # Ok::<(), finrad_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellCharacterizer {
+    tech: Technology,
+    options: CharacterizeOptions,
+}
+
+impl CellCharacterizer {
+    /// Creates a characterizer.
+    pub fn new(tech: Technology, options: CharacterizeOptions) -> Self {
+        Self { tech, options }
+    }
+
+    /// The technology being characterized.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &CharacterizeOptions {
+        &self.options
+    }
+
+    /// The pulse width used at `vdd` (explicit override or Eq. 2).
+    pub fn pulse_width(&self, vdd: Voltage) -> f64 {
+        self.options.pulse_width.unwrap_or_else(|| {
+            let l = self.tech.l_gate.meters();
+            let mu = self.options.fin_mobility_cm2 * 1.0e-4;
+            l * l / (mu * vdd.volts())
+        })
+    }
+
+    /// Simulates one strike and reports whether the cell flipped.
+    ///
+    /// `deltas` holds per-transistor threshold shifts (missing roles are
+    /// nominal). The cell holds [`CellState::One`]; by symmetry the result
+    /// applies to the mirrored strike on a `Zero` cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis failures.
+    pub fn simulate_strike(
+        &self,
+        vdd: Voltage,
+        event: &StrikeEvent,
+        deltas: &HashMap<TransistorRole, Voltage>,
+    ) -> Result<bool, SpiceError> {
+        let state = CellState::One;
+        let mut cell = SramCell::new(&self.tech, vdd);
+        for (&role, &dv) in deltas {
+            let id = cell.mosfet_id(role);
+            let dev = cell.circuit().mosfet(id).with_delta_vth(dv);
+            *cell.circuit_mut().mosfet_mut(id) = dev;
+        }
+        event.inject(&mut cell, state);
+
+        let plan = TimeStepPlan::for_pulse(event.t_start, event.width, self.options.settle);
+        let ic = cell.initial_conditions(state);
+        let res = analysis::transient(
+            cell.circuit(),
+            &plan,
+            &ic,
+            &[cell.q(), cell.qb()],
+            &self.options.newton,
+        )?;
+        let vq = res.final_voltage(cell.q());
+        let vqb = res.final_voltage(cell.qb());
+        Ok(cell.decode_state(vq, vqb) != state)
+    }
+
+    /// Whether a strike of total charge `q` on `combo` (split equally)
+    /// flips the cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis failures.
+    pub fn flips(
+        &self,
+        vdd: Voltage,
+        combo: StrikeCombo,
+        q: Charge,
+        deltas: &HashMap<TransistorRole, Voltage>,
+    ) -> Result<bool, SpiceError> {
+        let event = StrikeEvent::with_shape(
+            combo.split_charge(q),
+            self.options.t_start,
+            self.pulse_width(vdd),
+            self.options.shape,
+        );
+        self.simulate_strike(vdd, &event, deltas)
+    }
+
+    /// Finds the critical charge of `combo` at `vdd` by geometric bisection.
+    ///
+    /// If even `q_search_max` does not flip the cell, that bound is
+    /// returned (a saturated sample: POF stays 0 up to it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-analysis failures.
+    pub fn critical_charge(
+        &self,
+        vdd: Voltage,
+        combo: StrikeCombo,
+        deltas: &HashMap<TransistorRole, Voltage>,
+    ) -> Result<Charge, SpiceError> {
+        // Upward geometric scan to bracket the *first* flip threshold.
+        // The flip response is not globally monotone: extreme charges can
+        // drive the struck node so far past the rail that the pass gate
+        // turns on from its source side and restores the cell from the
+        // precharged bit line. Scanning finds the lower threshold, which is
+        // the physically meaningful critical charge.
+        let q_floor = 1.0e-18; // ~6 electrons: never flips
+        let mut lo = q_floor;
+        let mut hi = lo;
+        let mut bracketed = false;
+        while hi < self.options.q_search_max {
+            hi = (hi * 1.6).min(self.options.q_search_max);
+            if self.flips(vdd, combo, Charge::from_coulombs(hi), deltas)? {
+                bracketed = true;
+                break;
+            }
+            lo = hi;
+        }
+        if !bracketed {
+            // Saturated sample: never flipped in the search range.
+            return Ok(Charge::from_coulombs(self.options.q_search_max));
+        }
+        if lo <= q_floor {
+            return Ok(Charge::from_coulombs(lo));
+        }
+        while hi / lo > 1.0 + self.options.bisect_rel_tol {
+            let mid = (lo * hi).sqrt();
+            if self.flips(vdd, combo, Charge::from_coulombs(mid), deltas)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(Charge::from_coulombs((lo * hi).sqrt()))
+    }
+
+    /// Draws one per-transistor ΔVth assignment.
+    fn sample_deltas<R: Rng + ?Sized>(
+        &self,
+        var: &VariationModel,
+        rng: &mut R,
+    ) -> HashMap<TransistorRole, Voltage> {
+        TransistorRole::ALL
+            .into_iter()
+            .map(|role| (role, var.sample_delta_vth(1, rng)))
+            .collect()
+    }
+
+    /// Characterizes one combo: the POF curve at `vdd`.
+    ///
+    /// For [`Variation::MonteCarlo`] the samples are distributed across
+    /// `std::thread::available_parallelism()` workers with independent
+    /// deterministic RNG streams derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transient-analysis failure encountered.
+    pub fn characterize_combo(
+        &self,
+        vdd: Voltage,
+        combo: StrikeCombo,
+        variation: Variation,
+        seed: u64,
+    ) -> Result<PofCurve, SpiceError> {
+        match variation {
+            Variation::Nominal => {
+                let q = self.critical_charge(vdd, combo, &HashMap::new())?;
+                Ok(PofCurve::from_critical_charges(vec![q.coulombs()]))
+            }
+            Variation::MonteCarlo { samples } => {
+                assert!(samples > 0, "need at least one MC sample");
+                let var = VariationModel::pelgrom(&self.tech);
+                let n_threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(samples);
+                let chunk = samples.div_ceil(n_threads);
+                let results: Vec<Result<Vec<f64>, SpiceError>> =
+                    crossbeam::thread::scope(|scope| {
+                        let mut handles = Vec::new();
+                        for t in 0..n_threads {
+                            let start = t * chunk;
+                            let end = ((t + 1) * chunk).min(samples);
+                            if start >= end {
+                                break;
+                            }
+                            let var = &var;
+                            let this = &self;
+                            handles.push(scope.spawn(move |_| {
+                                let mut out = Vec::with_capacity(end - start);
+                                for i in start..end {
+                                    let mut rng =
+                                        StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(
+                                            0x9E37_79B9_7F4A_7C15,
+                                        ));
+                                    let deltas = this.sample_deltas(var, &mut rng);
+                                    let q = this.critical_charge(vdd, combo, &deltas)?;
+                                    out.push(q.coulombs());
+                                }
+                                Ok(out)
+                            }));
+                        }
+                        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                    })
+                    .expect("characterization scope");
+                let mut qs = Vec::with_capacity(samples);
+                for r in results {
+                    qs.extend(r?);
+                }
+                Ok(PofCurve::from_critical_charges(qs))
+            }
+        }
+    }
+
+    /// Builds the full POF table at `vdd`: all seven strike combinations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transient-analysis failure encountered.
+    pub fn build_table(
+        &self,
+        vdd: Voltage,
+        variation: Variation,
+        seed: u64,
+    ) -> Result<PofTable, SpiceError> {
+        let mut curves = BTreeMap::new();
+        for (k, combo) in StrikeCombo::all().into_iter().enumerate() {
+            let curve =
+                self.characterize_combo(vdd, combo, variation, seed.wrapping_add(k as u64))?;
+            curves.insert(combo, curve);
+        }
+        Ok(PofTable::new(vdd, curves))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StrikeTarget;
+
+    fn characterizer() -> CellCharacterizer {
+        CellCharacterizer::new(
+            Technology::soi_finfet_14nm(),
+            CharacterizeOptions {
+                // Coarser settle for debug-mode test speed; flips settle
+                // well within 5 ps.
+                settle: 5.0e-12,
+                bisect_rel_tol: 0.05,
+                ..CharacterizeOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn pulse_width_follows_eq2() {
+        let ch = characterizer();
+        let w1 = ch.pulse_width(Voltage::from_volts(1.0));
+        let w07 = ch.pulse_width(Voltage::from_volts(0.7));
+        // tau = L^2/(mu Vds): > 10 fs at 1 V, scaling as 1/Vdd.
+        assert!(w1 > 1.0e-14, "tau {w1}");
+        assert!((w07 / w1 - 1.0 / 0.7).abs() < 1e-9);
+        let ch2 = CellCharacterizer::new(
+            Technology::soi_finfet_14nm(),
+            CharacterizeOptions {
+                pulse_width: Some(5.0e-15),
+                ..CharacterizeOptions::default()
+            },
+        );
+        assert_eq!(ch2.pulse_width(Voltage::from_volts(0.8)), 5.0e-15);
+    }
+
+    #[test]
+    fn tiny_charge_does_not_flip_above_threshold_does() {
+        let ch = characterizer();
+        let vdd = Voltage::from_volts(0.8);
+        let combo = StrikeCombo::single(StrikeTarget::I1);
+        let none = HashMap::new();
+        assert!(!ch
+            .flips(vdd, combo, Charge::from_electrons(5.0), &none)
+            .unwrap());
+        // Moderately above the ~0.15 fC critical charge: flips. (Extreme
+        // charges can *restore* the cell through the source-side-on pass
+        // gate — see critical_charge — so "huge" is not the right probe.)
+        assert!(ch
+            .flips(vdd, combo, Charge::from_fc(0.25), &none)
+            .unwrap());
+    }
+
+    #[test]
+    fn critical_charge_is_sram_scale() {
+        let ch = characterizer();
+        let q = ch
+            .critical_charge(
+                Voltage::from_volts(0.8),
+                StrikeCombo::single(StrikeTarget::I1),
+                &HashMap::new(),
+            )
+            .unwrap();
+        // 14 nm SRAM critical charge: order 0.01-1 fC.
+        let fc = q.femtocoulombs();
+        assert!((0.005..2.0).contains(&fc), "Qcrit {fc} fC");
+    }
+
+    #[test]
+    fn critical_charge_decreases_with_vdd() {
+        // The root cause of the paper's "SER is higher at lower supply
+        // voltages" (Fig. 9).
+        let ch = characterizer();
+        let combo = StrikeCombo::single(StrikeTarget::I1);
+        let none = HashMap::new();
+        let q_07 = ch
+            .critical_charge(Voltage::from_volts(0.7), combo, &none)
+            .unwrap();
+        let q_10 = ch
+            .critical_charge(Voltage::from_volts(1.0), combo, &none)
+            .unwrap();
+        assert!(
+            q_07.coulombs() < q_10.coulombs(),
+            "Qcrit(0.7V) = {} fC should be below Qcrit(1.0V) = {} fC",
+            q_07.femtocoulombs(),
+            q_10.femtocoulombs()
+        );
+    }
+
+    #[test]
+    fn combined_strike_flips_easier_than_single() {
+        let ch = characterizer();
+        let vdd = Voltage::from_volts(0.8);
+        let none = HashMap::new();
+        let q_single = ch
+            .critical_charge(vdd, StrikeCombo::single(StrikeTarget::I2), &none)
+            .unwrap();
+        let q_all = ch
+            .critical_charge(vdd, StrikeCombo::new(&StrikeTarget::ALL), &none)
+            .unwrap();
+        // The three-way strike attacks both nodes at once; per-target charge
+        // is a third, but the combined disturbance should not need more
+        // than ~2x the single-target total charge (and typically less).
+        assert!(
+            q_all.coulombs() < 2.0 * q_single.coulombs(),
+            "q_all {} vs q_single {}",
+            q_all.femtocoulombs(),
+            q_single.femtocoulombs()
+        );
+    }
+
+    #[test]
+    fn nominal_curve_is_step() {
+        let ch = characterizer();
+        let curve = ch
+            .characterize_combo(
+                Voltage::from_volts(0.8),
+                StrikeCombo::single(StrikeTarget::I1),
+                Variation::Nominal,
+                1,
+            )
+            .unwrap();
+        assert_eq!(curve.sample_count(), 1);
+        let qc = curve.median_qcrit();
+        assert_eq!(curve.pof(qc * 0.9), 0.0);
+        assert_eq!(curve.pof(qc * 1.1), 1.0);
+    }
+
+    #[test]
+    fn variation_curve_spreads_around_nominal() {
+        let ch = characterizer();
+        let vdd = Voltage::from_volts(0.8);
+        let combo = StrikeCombo::single(StrikeTarget::I1);
+        let nominal = ch
+            .characterize_combo(vdd, combo, Variation::Nominal, 1)
+            .unwrap();
+        let mc = ch
+            .characterize_combo(vdd, combo, Variation::MonteCarlo { samples: 12 }, 2)
+            .unwrap();
+        assert_eq!(mc.sample_count(), 12);
+        // The MC minimum is (weakly) below the nominal Qcrit and the max
+        // above — variation spreads the distribution.
+        let q_nom = nominal.median_qcrit().coulombs();
+        assert!(
+            mc.min_qcrit().coulombs() < q_nom * 1.05,
+            "mc min {} vs nominal {}",
+            mc.min_qcrit().coulombs(),
+            q_nom
+        );
+        // POF transitions over a band rather than a step: at nominal Qcrit
+        // it is strictly between 0 and 1 for a healthy sigma.
+        let p = mc.pof(Charge::from_coulombs(q_nom));
+        assert!(p > 0.0 && p < 1.0, "pof at nominal {p}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ch = characterizer();
+        let vdd = Voltage::from_volts(0.8);
+        let combo = StrikeCombo::single(StrikeTarget::I3);
+        let a = ch
+            .characterize_combo(vdd, combo, Variation::MonteCarlo { samples: 6 }, 42)
+            .unwrap();
+        let b = ch
+            .characterize_combo(vdd, combo, Variation::MonteCarlo { samples: 6 }, 42)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

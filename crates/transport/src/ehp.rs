@@ -1,0 +1,119 @@
+//! Electron–hole pair generation from deposited energy.
+//!
+//! "For every 3.6 eV of particle energy lost in silicon, an electron-hole
+//! pair is generated" (paper, Section 3.2). On top of that mean we model
+//! the sub-Poissonian fluctuation of the pair count with silicon's Fano
+//! factor F ≈ 0.115 (variance = F·n̄), which matters for strikes close to
+//! the flip threshold.
+
+use finrad_units::{constants, Charge, Energy};
+use rand::Rng;
+
+use crate::straggling::sample_standard_normal;
+
+/// Mean number of electron–hole pairs for `deposited` energy.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_transport::ehp;
+/// use finrad_units::Energy;
+///
+/// let n = ehp::mean_pairs(Energy::from_kev(3.6));
+/// assert!((n - 1000.0).abs() < 1e-9);
+/// ```
+pub fn mean_pairs(deposited: Energy) -> f64 {
+    (deposited / constants::EHP_PAIR_ENERGY).max(0.0)
+}
+
+/// Samples an integer pair count with Fano-suppressed Gaussian statistics
+/// around the mean (σ² = F·n̄), clamped at zero.
+///
+/// For very small means (< 10 pairs) the Gaussian approximation is replaced
+/// by a simple Bernoulli rounding of the mean, which keeps the expectation
+/// exact without needing a full Poisson sampler.
+pub fn sample_pairs<R: Rng + ?Sized>(deposited: Energy, rng: &mut R) -> u64 {
+    let mean = mean_pairs(deposited);
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 10.0 {
+        // Bernoulli-rounded mean: E[result] == mean.
+        let floor = mean.floor();
+        let frac = mean - floor;
+        let extra = u64::from(rng.gen_range(0.0f64..1.0) < frac);
+        return floor as u64 + extra;
+    }
+    let sigma = (constants::SILICON_FANO_FACTOR * mean).sqrt();
+    let n = mean + sigma * sample_standard_normal(rng);
+    n.round().max(0.0) as u64
+}
+
+/// Charge carried by `pairs` electron–hole pairs (one electron each).
+pub fn pairs_to_charge(pairs: u64) -> Charge {
+    Charge::from_electrons(pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn paper_conversion_factor() {
+        // 1 MeV deposited => 1e6/3.6 ≈ 277,778 pairs.
+        let n = mean_pairs(Energy::from_mev(1.0));
+        assert!((n - 277_777.78).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_and_negative_deposits() {
+        assert_eq!(mean_pairs(Energy::ZERO), 0.0);
+        assert_eq!(mean_pairs(Energy::from_ev(-5.0)), 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(sample_pairs(Energy::ZERO, &mut rng), 0);
+    }
+
+    #[test]
+    fn sampled_mean_matches_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let e = Energy::from_kev(1.0); // ~278 pairs
+        let expect = mean_pairs(e);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_pairs(e, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - expect).abs() / expect < 0.01, "{mean} vs {expect}");
+    }
+
+    #[test]
+    fn fano_variance_sub_poissonian() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let e = Energy::from_kev(10.0); // ~2778 pairs
+        let expect = mean_pairs(e);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_pairs(e, &mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        // Variance should be ~F * mean, far below Poisson (var = mean).
+        assert!(var < 0.3 * expect, "var {var} vs poisson {expect}");
+        assert!(var > 0.03 * expect, "var {var} suspiciously small");
+    }
+
+    #[test]
+    fn small_mean_bernoulli_branch_unbiased() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let e = Energy::from_ev(3.6 * 2.5); // mean = 2.5 pairs
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| sample_pairs(e, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn charge_of_pairs() {
+        let q = pairs_to_charge(1000);
+        assert!((q.electrons() - 1000.0).abs() < 1e-9);
+        assert!(q.femtocoulombs() > 0.16 && q.femtocoulombs() < 0.17);
+    }
+}

@@ -1,0 +1,241 @@
+//! The device-level look-up table of the paper's flow.
+//!
+//! "A Monte Carlo simulation of the interaction of the particle and the 3-D
+//! material structure needs to be performed to obtain the number of
+//! generated electron-hole pairs for different particle energies and the
+//! results are stored in look-up tables" (Section 2). [`EhpLut`] is that
+//! table: per species, mean pairs per fin traversal indexed by energy,
+//! reproducing the paper's Fig. 4. It is built once (the expensive step)
+//! and serialized with `serde` so downstream runs can reuse it.
+
+use crate::fin::FinTraversal;
+use finrad_numerics::interp::{log_space, LinearTable};
+use finrad_numerics::stats::RunningStats;
+use finrad_units::{Energy, Particle};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One row of the LUT: traversal statistics at a single energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LutRow {
+    /// Particle energy of the row.
+    pub energy_mev: f64,
+    /// Mean electron–hole pairs per traversal.
+    pub mean_pairs: f64,
+    /// Standard deviation of the pair count across traversals.
+    pub stddev_pairs: f64,
+    /// Number of Monte-Carlo traversals behind the row.
+    pub samples: u64,
+}
+
+/// Energy-indexed electron–hole pair LUT for one particle species.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_transport::{fin::FinTraversal, lut::EhpLut};
+/// use finrad_units::{Energy, Particle};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let lut = EhpLut::build(
+///     &FinTraversal::paper_default(),
+///     Particle::Alpha,
+///     0.5,
+///     20.0,
+///     6,    // energy points
+///     500,  // traversals per point
+///     &mut rng,
+/// );
+/// assert!(lut.mean_pairs(Energy::from_mev(1.0)) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EhpLut {
+    particle: Particle,
+    rows: Vec<LutRow>,
+    table: LinearTable,
+}
+
+impl EhpLut {
+    /// Builds the LUT by running `samples_per_point` fin traversals at each
+    /// of `energy_points` log-spaced energies in `[lo_mev, hi_mev]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the energy range is invalid, `energy_points < 2`, or
+    /// `samples_per_point == 0`.
+    pub fn build<R: Rng + ?Sized>(
+        sim: &FinTraversal,
+        particle: Particle,
+        lo_mev: f64,
+        hi_mev: f64,
+        energy_points: usize,
+        samples_per_point: u64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(samples_per_point > 0, "need at least one sample per point");
+        let energies = log_space(lo_mev, hi_mev, energy_points);
+        let rows: Vec<LutRow> = energies
+            .iter()
+            .map(|&e_mev| {
+                let mut stats = RunningStats::new();
+                for _ in 0..samples_per_point {
+                    let o = sim.simulate(particle, Energy::from_mev(e_mev), rng);
+                    stats.push(o.pairs as f64);
+                }
+                LutRow {
+                    energy_mev: e_mev,
+                    mean_pairs: stats.mean(),
+                    stddev_pairs: stats.stddev(),
+                    samples: stats.count(),
+                }
+            })
+            .collect();
+        Self::from_rows(particle, rows)
+    }
+
+    /// Assembles a LUT from precomputed rows (e.g. deserialized from disk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two rows are given or their energies are not
+    /// strictly increasing.
+    pub fn from_rows(particle: Particle, rows: Vec<LutRow>) -> Self {
+        let xs: Vec<f64> = rows.iter().map(|r| r.energy_mev).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r.mean_pairs.max(0.0)).collect();
+        let table = LinearTable::new(xs, ys).expect("LUT rows must be increasing in energy");
+        Self {
+            particle,
+            rows,
+            table,
+        }
+    }
+
+    /// The particle species this LUT describes.
+    pub fn particle(&self) -> Particle {
+        self.particle
+    }
+
+    /// Interpolated mean pair count at `energy` (clamped at the ends).
+    pub fn mean_pairs(&self, energy: Energy) -> f64 {
+        self.table.eval(energy.mev())
+    }
+
+    /// Borrowed view of the underlying rows (for plotting / benchmarking).
+    pub fn rows(&self) -> &[LutRow] {
+        &self.rows
+    }
+
+    /// Maximum mean pair count over the table — the normalization constant
+    /// used when reporting the paper's normalized Fig. 4.
+    pub fn peak_mean_pairs(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.mean_pairs)
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_lut(particle: Particle, seed: u64) -> EhpLut {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        EhpLut::build(
+            &FinTraversal::paper_default(),
+            particle,
+            0.1,
+            100.0,
+            8,
+            2000,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn rows_cover_requested_grid() {
+        let lut = small_lut(Particle::Alpha, 1);
+        assert_eq!(lut.rows().len(), 8);
+        assert!((lut.rows()[0].energy_mev - 0.1).abs() < 1e-9);
+        assert!((lut.rows()[7].energy_mev - 100.0).abs() < 1e-6);
+        assert!(lut.rows().iter().all(|r| r.samples == 2000));
+    }
+
+    #[test]
+    fn fig4_shape_alpha_above_proton_and_decreasing() {
+        let alpha = small_lut(Particle::Alpha, 2);
+        let proton = small_lut(Particle::Proton, 3);
+        // Alpha curve is well above the proton curve everywhere (Fig. 4);
+        // the margin narrows near the alpha Bragg peak (~0.5 MeV).
+        for (e, factor) in [(0.5, 1.2), (1.0, 2.0), (5.0, 2.0), (20.0, 2.0)] {
+            let ea = alpha.mean_pairs(Energy::from_mev(e));
+            let ep = proton.mean_pairs(Energy::from_mev(e));
+            assert!(ea > factor * ep, "at {e} MeV: alpha {ea} vs proton {ep}");
+        }
+        // Both decrease from a few MeV to 100 MeV.
+        for lut in [&alpha, &proton] {
+            let mid = lut.mean_pairs(Energy::from_mev(3.0));
+            let hi = lut.mean_pairs(Energy::from_mev(100.0));
+            assert!(mid > hi, "{}: {mid} vs {hi}", lut.particle());
+        }
+    }
+
+    #[test]
+    fn interpolation_between_rows() {
+        let lut = small_lut(Particle::Alpha, 4);
+        let rows = lut.rows();
+        let (a, b) = (rows[3], rows[4]);
+        let mid_e = (a.energy_mev * b.energy_mev).sqrt();
+        let v = lut.mean_pairs(Energy::from_mev(mid_e));
+        let (lo, hi) = (
+            a.mean_pairs.min(b.mean_pairs),
+            a.mean_pairs.max(b.mean_pairs),
+        );
+        assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_lookup() {
+        let lut = small_lut(Particle::Proton, 5);
+        let json = serde_json::to_string(&lut).unwrap();
+        let back: EhpLut = serde_json::from_str(&json).unwrap();
+        let e = Energy::from_mev(2.0);
+        let (a, b) = (lut.mean_pairs(e), back.mean_pairs(e));
+        assert!((a - b).abs() < 1e-9 * a.max(1.0), "{a} vs {b}");
+        assert_eq!(back.particle(), Particle::Proton);
+    }
+
+    #[test]
+    fn peak_is_max_of_rows() {
+        let lut = small_lut(Particle::Alpha, 6);
+        let max_row = lut
+            .rows()
+            .iter()
+            .map(|r| r.mean_pairs)
+            .fold(0.0f64, f64::max);
+        assert_eq!(lut.peak_mean_pairs(), max_row);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing in energy")]
+    fn from_rows_rejects_unsorted() {
+        let rows = vec![
+            LutRow {
+                energy_mev: 2.0,
+                mean_pairs: 10.0,
+                stddev_pairs: 1.0,
+                samples: 10,
+            },
+            LutRow {
+                energy_mev: 1.0,
+                mean_pairs: 20.0,
+                stddev_pairs: 1.0,
+                samples: 10,
+            },
+        ];
+        let _ = EhpLut::from_rows(Particle::Alpha, rows);
+    }
+}

@@ -1,0 +1,440 @@
+//! Energy-loss straggling in thin silicon layers.
+//!
+//! Over a nanometre-scale chord the *mean* energy loss `S(E)·l` is only a
+//! few hundred eV to a few keV, and the loss distribution is strongly
+//! non-Gaussian: rare hard δ-ray collisions produce a long high-loss tail.
+//! This is the Landau regime (the thickness parameter κ = ξ/T_max ≪ 1).
+//! Geant4 handles this with its fluctuation models; we implement:
+//!
+//! * **Landau sampling** via the exact Moyal-form transform: if
+//!   `Z ~ N(0,1)` then `λ = −ln(Z²)` follows the Moyal distribution, a
+//!   close analytic approximation to the Landau shape with the correct
+//!   exponential-of-exponential tail.
+//! * **Bohr Gaussian** for thick segments (κ ≳ 10), variance
+//!   `Ω² = 0.1569·z²·(Z/A)·ρ·Δx` MeV².
+//! * Automatic regime selection through κ.
+//!
+//! All sampled losses are clamped to `[0, E]` — a particle cannot deposit
+//! more energy than it carries.
+
+use crate::stopping::StoppingModel;
+use finrad_units::{constants, kinematics, Energy, Length, Particle};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Draws a standard-normal deviate via Box–Muller (keeps the approved
+/// dependency set to `rand` itself, without `rand_distr`).
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(0.0f64..1.0);
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen_range(0.0f64..1.0);
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Which fluctuation model to apply on top of the mean energy loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StragglingModel {
+    /// No fluctuation: deposit exactly the mean loss. Useful for ablations
+    /// and for deterministic tests.
+    None,
+    /// Gaussian with the Bohr variance (thick-absorber limit).
+    Bohr,
+    /// Landau/Moyal sampling (thin-absorber limit).
+    Landau,
+    /// Choose Landau or Bohr per segment from the thickness parameter κ.
+    #[default]
+    Auto,
+}
+
+/// Samples the energy deposited by `particle` of kinetic energy `energy`
+/// along a silicon chord of length `chord`.
+///
+/// The return value is clamped to `[0, energy]`.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_transport::{stopping::StoppingModel, straggling};
+/// use finrad_units::{Energy, Length, Particle};
+/// use rand::SeedableRng;
+///
+/// let model = StoppingModel::silicon();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let de = straggling::sample_energy_loss(
+///     &model,
+///     straggling::StragglingModel::Auto,
+///     Particle::Alpha,
+///     Energy::from_mev(2.0),
+///     Length::from_nm(20.0),
+///     &mut rng,
+/// );
+/// assert!(de.ev() >= 0.0);
+/// ```
+pub fn sample_energy_loss<R: Rng + ?Sized>(
+    model: &StoppingModel,
+    straggling: StragglingModel,
+    particle: Particle,
+    energy: Energy,
+    chord: Length,
+    rng: &mut R,
+) -> Energy {
+    let mean = model.mean_energy_loss(particle, energy, chord);
+    if mean.ev() <= 0.0 {
+        return Energy::ZERO;
+    }
+    let sampled = match straggling {
+        StragglingModel::None => mean,
+        StragglingModel::Bohr => sample_bohr(particle, energy, chord, mean, rng),
+        StragglingModel::Landau => sample_landau(particle, energy, chord, mean, rng),
+        StragglingModel::Auto => {
+            if kappa(particle, energy, chord) > 10.0 {
+                sample_bohr(particle, energy, chord, mean, rng)
+            } else {
+                sample_landau(particle, energy, chord, mean, rng)
+            }
+        }
+    };
+    sampled.max(Energy::ZERO).min(energy)
+}
+
+/// The Landau ξ parameter in MeV: `ξ = (K/2)(Z/A)(z²/β²)·ρΔx`.
+fn xi_mev(particle: Particle, energy: Energy, chord: Length) -> f64 {
+    let beta2 = kinematics::beta_squared(energy.mev(), particle.rest_energy_mev()).max(1e-12);
+    let x_g_cm2 = constants::SILICON_DENSITY_G_CM3 * chord.centimeters();
+    let z = particle.charge_number();
+    0.5 * constants::BETHE_K_MEV_CM2_PER_MOL
+        * (constants::SILICON_Z / constants::SILICON_A)
+        * z
+        * z
+        / beta2
+        * x_g_cm2
+}
+
+/// Maximum kinematically transferable energy to an electron, MeV.
+fn t_max_mev(particle: Particle, energy: Energy) -> f64 {
+    let beta2 = kinematics::beta_squared(energy.mev(), particle.rest_energy_mev());
+    let gamma = kinematics::gamma(energy.mev(), particle.rest_energy_mev());
+    // Heavy-projectile approximation (m_e << M).
+    (2.0 * constants::ELECTRON_REST_MEV * beta2 * gamma * gamma).max(1e-12)
+}
+
+/// Thickness parameter κ = ξ / T_max. κ ≪ 1 ⇒ Landau; κ ≫ 1 ⇒ Gaussian.
+pub fn kappa(particle: Particle, energy: Energy, chord: Length) -> f64 {
+    xi_mev(particle, energy, chord) / t_max_mev(particle, energy)
+}
+
+/// Bohr straggling standard deviation for the segment.
+pub fn bohr_sigma(particle: Particle, energy: Energy, chord: Length) -> Energy {
+    let _ = energy; // Bohr variance is velocity-independent to first order.
+    let z = particle.charge_number();
+    let x_g_cm2 = constants::SILICON_DENSITY_G_CM3 * chord.centimeters();
+    let var_mev2 = 0.1569 * z * z * (constants::SILICON_Z / constants::SILICON_A) * x_g_cm2;
+    Energy::from_mev(var_mev2.sqrt())
+}
+
+fn sample_bohr<R: Rng + ?Sized>(
+    particle: Particle,
+    energy: Energy,
+    chord: Length,
+    mean: Energy,
+    rng: &mut R,
+) -> Energy {
+    let sigma = bohr_sigma(particle, energy, chord);
+    let z: f64 = sample_standard_normal(rng);
+    mean + sigma * z
+}
+
+/// Draws a Moyal-distributed deviate with mode 0 and unit scale:
+/// `λ = −ln(Z²)` for `Z ~ N(0,1)`.
+pub fn sample_moyal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let z: f64 = sample_standard_normal(rng);
+        let z2 = z * z;
+        if z2 > 0.0 {
+            return -z2.ln();
+        }
+    }
+}
+
+/// The Moyal-form deposit distribution of one thin-chord segment:
+/// `ΔE = mean + scale·(λ − 1.2704)` with `λ ~ Moyal(0, 1)`.
+///
+/// These are the parameters the conditional-expectation flip model in
+/// `finrad-core` integrates over analytically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LandauParams {
+    /// Mean deposited energy (the CSDA mean loss).
+    pub mean: Energy,
+    /// Moyal scale (physical straggling σ divided by the Moyal stddev).
+    pub scale: Energy,
+}
+
+/// Mean of the standard Moyal distribution (γ_E + ln 2).
+pub const MOYAL_MEAN: f64 = 1.270_362_845;
+/// Standard deviation of the standard Moyal distribution (π/√2).
+pub const MOYAL_STDDEV: f64 = 2.221_441_469;
+
+/// Deposit-distribution parameters for `particle` at `energy` over `chord`.
+pub fn landau_params(
+    model: &StoppingModel,
+    particle: Particle,
+    energy: Energy,
+    chord: Length,
+) -> LandauParams {
+    let mean = model.mean_energy_loss(particle, energy, chord);
+    let scale = bohr_sigma(particle, energy, chord) / MOYAL_STDDEV;
+    LandauParams { mean, scale }
+}
+
+/// Survival function of the standard Moyal distribution:
+/// `P(λ > x) = P(χ²₁ < e^(−x)) = erf(√(e^(−x)/2))`.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_transport::straggling::moyal_survival;
+///
+/// assert!((moyal_survival(-50.0) - 1.0).abs() < 1e-9);
+/// assert!(moyal_survival(20.0) < 1e-4);
+/// let p = moyal_survival(0.0);
+/// assert!(p > 0.4 && p < 0.7); // median is near the mode
+/// ```
+pub fn moyal_survival(x: f64) -> f64 {
+    finrad_numerics::special::erf((0.5 * (-x).exp()).sqrt())
+}
+
+/// Probability that the deposit described by `params` reaches `threshold`,
+/// given at most `available` energy can be deposited (hard kinematic cap).
+pub fn deposit_exceedance(params: &LandauParams, threshold: Energy, available: Energy) -> f64 {
+    if threshold > available {
+        return 0.0;
+    }
+    if threshold.ev() <= 0.0 {
+        return 1.0;
+    }
+    if params.scale.ev() <= 0.0 {
+        return if params.mean >= threshold { 1.0 } else { 0.0 };
+    }
+    let lambda = (threshold - params.mean) / params.scale + MOYAL_MEAN;
+    moyal_survival(lambda)
+}
+
+fn sample_landau<R: Rng + ?Sized>(
+    particle: Particle,
+    energy: Energy,
+    chord: Length,
+    mean: Energy,
+    rng: &mut R,
+) -> Energy {
+    // Moyal-shaped fluctuation scaled so that mean and variance match the
+    // physical values (the straggling variance ξ·T_max equals the Bohr
+    // variance at γ ≈ 1). The Moyal shape contributes the defining Landau
+    // feature: a right-skewed distribution whose rare hard-collision tail
+    // reaches several times the mean loss, which a symmetric Gaussian
+    // cannot produce.
+    let params = landau_params_from_mean(particle, energy, chord, mean);
+    let lambda = sample_moyal(rng);
+    params.mean + params.scale * (lambda - MOYAL_MEAN)
+}
+
+/// Internal variant avoiding a second stopping-power evaluation when the
+/// mean loss is already known.
+fn landau_params_from_mean(
+    particle: Particle,
+    energy: Energy,
+    chord: Length,
+    mean: Energy,
+) -> LandauParams {
+    LandauParams {
+        mean,
+        scale: bohr_sigma(particle, energy, chord) / MOYAL_STDDEV,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> StoppingModel {
+        StoppingModel::silicon()
+    }
+
+    #[test]
+    fn fin_chords_are_in_the_landau_regime() {
+        // nm chords, MeV particles: kappa << 1.
+        let k = kappa(Particle::Proton, Energy::from_mev(1.0), Length::from_nm(20.0));
+        assert!(k < 0.1, "kappa {k}");
+        let ka = kappa(Particle::Alpha, Energy::from_mev(5.0), Length::from_nm(20.0));
+        assert!(ka < 0.5, "kappa {ka}");
+    }
+
+    #[test]
+    fn thick_segments_reach_gaussian_regime() {
+        let k = kappa(
+            Particle::Alpha,
+            Energy::from_kev(400.0),
+            Length::from_um(50.0),
+        );
+        assert!(k > 10.0, "kappa {k}");
+    }
+
+    #[test]
+    fn none_model_is_deterministic_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = model();
+        let e = Energy::from_mev(1.0);
+        let l = Length::from_nm(20.0);
+        let de = sample_energy_loss(&m, StragglingModel::None, Particle::Alpha, e, l, &mut rng);
+        assert_eq!(de, m.mean_energy_loss(Particle::Alpha, e, l));
+    }
+
+    #[test]
+    fn sampled_mean_tracks_csda_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = model();
+        let e = Energy::from_mev(2.0);
+        let l = Length::from_nm(30.0);
+        let expect = m.mean_energy_loss(Particle::Alpha, e, l).ev();
+        for strag in [StragglingModel::Landau, StragglingModel::Bohr, StragglingModel::Auto] {
+            let n = 40_000;
+            let mean_ev: f64 = (0..n)
+                .map(|_| {
+                    sample_energy_loss(&m, strag, Particle::Alpha, e, l, &mut rng).ev()
+                })
+                .sum::<f64>()
+                / n as f64;
+            // Clamping at zero biases slightly upward; allow 15 %.
+            assert!(
+                (mean_ev - expect).abs() / expect < 0.15,
+                "{strag:?}: sampled {mean_ev} eV vs mean {expect} eV"
+            );
+        }
+    }
+
+    #[test]
+    fn landau_has_heavier_upper_tail_than_gaussian() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = model();
+        let e = Energy::from_mev(1.0);
+        let l = Length::from_nm(20.0);
+        let mean = m.mean_energy_loss(Particle::Proton, e, l).ev();
+        let n = 30_000;
+        let count_tail = |strag: StragglingModel, rng: &mut ChaCha8Rng| {
+            (0..n)
+                .filter(|_| {
+                    sample_energy_loss(&m, strag, Particle::Proton, e, l, rng).ev() > 3.0 * mean
+                })
+                .count()
+        };
+        let landau_tail = count_tail(StragglingModel::Landau, &mut rng);
+        let bohr_tail = count_tail(StragglingModel::Bohr, &mut rng);
+        assert!(
+            landau_tail > bohr_tail.max(1) * 2,
+            "landau tail {landau_tail} vs bohr {bohr_tail}"
+        );
+    }
+
+    #[test]
+    fn losses_clamped_to_particle_energy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = model();
+        let e = Energy::from_kev(2.0); // nearly stopped particle
+        let l = Length::from_um(10.0);
+        for _ in 0..2000 {
+            let de =
+                sample_energy_loss(&m, StragglingModel::Auto, Particle::Alpha, e, l, &mut rng);
+            assert!(de >= Energy::ZERO && de <= e);
+        }
+    }
+
+    #[test]
+    fn moyal_sampler_statistics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_moyal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        // E[λ] = γ_E + ln 2 ≈ 1.2704.
+        assert!((mean - 1.2704).abs() < 0.03, "moyal mean {mean}");
+        // Mode near zero: more mass in [-1, 1] than in [1, 3].
+        let near = samples.iter().filter(|&&x| (-1.0..1.0).contains(&x)).count();
+        let far = samples.iter().filter(|&&x| (1.0..3.0).contains(&x)).count();
+        assert!(near > far);
+    }
+
+    #[test]
+    fn bohr_sigma_scales_with_sqrt_thickness() {
+        let s1 = bohr_sigma(Particle::Alpha, Energy::from_mev(1.0), Length::from_nm(10.0));
+        let s4 = bohr_sigma(Particle::Alpha, Energy::from_mev(1.0), Length::from_nm(40.0));
+        assert!((s4 / s1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exceedance_matches_sampled_frequency() {
+        // The analytic deposit_exceedance must agree with Landau sampling.
+        let m = model();
+        let e = Energy::from_mev(1.0);
+        let l = Length::from_nm(30.0);
+        let params = landau_params(&m, Particle::Alpha, e, l);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for factor in [0.8, 1.0, 1.5, 2.0] {
+            let threshold = params.mean * factor;
+            let analytic = deposit_exceedance(&params, threshold, e);
+            let n = 60_000;
+            let hits = (0..n)
+                .filter(|_| {
+                    sample_energy_loss(&m, StragglingModel::Landau, Particle::Alpha, e, l, &mut rng)
+                        >= threshold
+                })
+                .count();
+            let sampled = hits as f64 / n as f64;
+            assert!(
+                (analytic - sampled).abs() < 0.02 + 0.15 * sampled,
+                "factor {factor}: analytic {analytic} vs sampled {sampled}"
+            );
+        }
+    }
+
+    #[test]
+    fn exceedance_edge_cases() {
+        let m = model();
+        let e = Energy::from_mev(2.0);
+        let params = landau_params(&m, Particle::Proton, e, Length::from_nm(20.0));
+        // More than the particle carries: impossible.
+        assert_eq!(deposit_exceedance(&params, e * 2.0, e), 0.0);
+        // Zero threshold: certain.
+        assert_eq!(deposit_exceedance(&params, Energy::ZERO, e), 1.0);
+        // Monotone decreasing in threshold.
+        let mut prev = 1.0;
+        for k in 1..40 {
+            let p = deposit_exceedance(&params, params.mean * (k as f64 * 0.2), e);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn moyal_survival_bounds() {
+        assert!((moyal_survival(-100.0) - 1.0).abs() < 1e-12);
+        assert!(moyal_survival(50.0) >= 0.0);
+        assert!(moyal_survival(50.0) < 1e-9);
+        // Median of the Moyal is ~0.787.
+        let med = moyal_survival(0.787);
+        assert!((med - 0.5).abs() < 0.01, "SF(median) = {med}");
+    }
+
+    #[test]
+    fn alpha_xi_is_4x_proton_xi_at_equal_beta() {
+        // Same beta: z² scaling only. Arrange equal beta via energy ratio.
+        let e_p = Energy::from_mev(1.0);
+        let e_a = Energy::from_mev(1.0 * Particle::Alpha.mass_amu() / Particle::Proton.mass_amu());
+        let l = Length::from_nm(20.0);
+        let r = xi_mev(Particle::Alpha, e_a, l) / xi_mev(Particle::Proton, e_p, l);
+        assert!((r - 4.0).abs() < 0.05, "xi ratio {r}");
+    }
+}

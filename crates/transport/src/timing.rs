@@ -1,0 +1,173 @@
+//! The paper's Eqs. 1–3: passage time, transit time and the current pulse.
+//!
+//! * **Eq. 1** — particle passage time `τ_p = w_Fin / v_p`: how long the
+//!   particle spends crossing the fin (< 1 fs for alphas, ~10× less for
+//!   protons at equal energy because they are ~4× lighter ⇒ 2× faster,
+//!   and typically carry higher velocities at the relevant energies).
+//! * **Eq. 2** — carrier transit time `τ = L²_Fin / (µₑ·V_ds)`: the drift
+//!   collection timescale. With confined-fin mobility this exceeds 10 fs
+//!   at V_ds = 1 V, so τ ≫ τ_p and all pairs can be treated as generated
+//!   instantaneously and collected by drift — the paper's justification
+//!   for the rectangular pulse model.
+//! * **Eq. 3** — pulse amplitude `I = Q/τ = nₑ·e/τ` over width τ.
+
+use finrad_units::{Charge, Current, Energy, Length, Particle, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// Effective electron mobility in a confined 14 nm fin, cm²/(V·s).
+///
+/// Bulk silicon mobility (~1417) is strongly degraded by confinement and
+/// surface scattering in a fin; 300 cm²/Vs places the transit time above
+/// 10 fs at V_ds = 1 V, matching the paper's Section 3.3 statement.
+pub const FIN_ELECTRON_MOBILITY_CM2_PER_VS: f64 = 300.0;
+
+/// Eq. 1: time for the particle to pass through a fin of width `w_fin`.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_transport::timing::passage_time;
+/// use finrad_units::{Energy, Length, Particle};
+///
+/// let tp = passage_time(Particle::Alpha, Energy::from_mev(5.0), Length::from_nm(8.0));
+/// assert!(tp.femtoseconds() < 1.0); // paper: τp < 1 fs for alphas
+/// ```
+pub fn passage_time(particle: Particle, energy: Energy, w_fin: Length) -> Time {
+    let v = particle.speed_m_per_s(energy);
+    Time::from_seconds(w_fin.meters() / v)
+}
+
+/// Eq. 2: average electron drift transit time between source and drain.
+///
+/// # Panics
+///
+/// Panics if `vds` is not strictly positive.
+pub fn transit_time(l_fin: Length, vds: Voltage) -> Time {
+    assert!(vds.volts() > 0.0, "transit time requires positive Vds");
+    let mu_m2 = FIN_ELECTRON_MOBILITY_CM2_PER_VS * 1.0e-4; // cm²/Vs → m²/Vs
+    let l = l_fin.meters();
+    Time::from_seconds(l * l / (mu_m2 * vds.volts()))
+}
+
+/// A rectangular parasitic current pulse (the paper's Fig. 3(b)):
+/// amplitude `I = Q/τ` over width `τ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurrentPulse {
+    /// Pulse amplitude.
+    pub amplitude: Current,
+    /// Pulse width (the carrier transit time τ).
+    pub width: Time,
+}
+
+impl CurrentPulse {
+    /// Eq. 3: builds the pulse carrying `charge` over `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive.
+    pub fn from_charge(charge: Charge, width: Time) -> Self {
+        assert!(width.seconds() > 0.0, "pulse width must be positive");
+        Self {
+            amplitude: charge / width,
+            width,
+        }
+    }
+
+    /// Total charge under the pulse (the quantity POF actually depends on,
+    /// per the paper's Section 4 pulse-shape study).
+    pub fn charge(&self) -> Charge {
+        self.amplitude * self.width
+    }
+}
+
+/// Convenience: the pulse induced by `pairs` electron–hole pairs collected
+/// over the transit time of a fin of gated length `l_fin` at drain bias
+/// `vds`.
+pub fn pulse_from_pairs(pairs: u64, l_fin: Length, vds: Voltage) -> CurrentPulse {
+    let tau = transit_time(l_fin, vds);
+    CurrentPulse::from_charge(Charge::from_electrons(pairs as f64), tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_claim_tau_exceeds_10fs_at_1v() {
+        let tau = transit_time(Length::from_nm(20.0), Voltage::from_volts(1.0));
+        assert!(tau.femtoseconds() > 10.0, "tau {} fs", tau.femtoseconds());
+    }
+
+    #[test]
+    fn paper_claim_alpha_passage_below_1fs() {
+        // At the alpha energies of interest (≳ 2 MeV), τp < 1 fs.
+        for e in [2.0, 5.0, 10.0] {
+            let tp = passage_time(Particle::Alpha, Energy::from_mev(e), Length::from_nm(8.0));
+            assert!(tp.femtoseconds() < 1.0, "tp {} fs at {e} MeV", tp.femtoseconds());
+        }
+    }
+
+    #[test]
+    fn paper_claim_proton_passage_much_shorter() {
+        // "For proton, τp is approximately 10 times smaller than that of
+        // alpha-particle" — the paper compares the particles at the energies
+        // where each matters (protons are faster at equal energy, and the
+        // relevant proton energies are higher). At equal energy the ratio is
+        // √(m_α/m_p) ≈ 2; at 10× the energy it approaches the paper's 10×.
+        let w = Length::from_nm(8.0);
+        let tp_alpha = passage_time(Particle::Alpha, Energy::from_mev(1.0), w);
+        let tp_proton = passage_time(Particle::Proton, Energy::from_mev(10.0), w);
+        let ratio = tp_alpha.femtoseconds() / tp_proton.femtoseconds();
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tau_much_greater_than_tau_p() {
+        // The separation that justifies instantaneous generation (§3.3).
+        let tau = transit_time(Length::from_nm(20.0), Voltage::from_volts(0.7));
+        let tp = passage_time(Particle::Alpha, Energy::from_mev(2.0), Length::from_nm(8.0));
+        assert!(tau.seconds() > 10.0 * tp.seconds());
+    }
+
+    #[test]
+    fn transit_time_scales() {
+        // τ ∝ L² and ∝ 1/Vdd.
+        let t1 = transit_time(Length::from_nm(20.0), Voltage::from_volts(1.0));
+        let t2 = transit_time(Length::from_nm(40.0), Voltage::from_volts(1.0));
+        assert!((t2 / t1 - 4.0).abs() < 1e-9);
+        let t3 = transit_time(Length::from_nm(20.0), Voltage::from_volts(0.5));
+        assert!((t3 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pulse_charge_round_trip() {
+        let q = Charge::from_electrons(1000.0);
+        let p = CurrentPulse::from_charge(q, Time::from_fs(15.0));
+        assert!((p.charge().electrons() - 1000.0).abs() < 1e-6);
+        assert!(p.amplitude.microamperes() > 0.0);
+    }
+
+    #[test]
+    fn pulse_from_pairs_amplitude_order_of_magnitude() {
+        // 1000 pairs (0.16 fC) compressed into the ~13 fs transit time is a
+        // ~12 mA rectangle. The amplitude looks large only because the
+        // paper's model concentrates all charge into τ; POF depends on the
+        // charge, not the amplitude (paper §4 pulse-shape study).
+        let p = pulse_from_pairs(1000, Length::from_nm(20.0), Voltage::from_volts(1.0));
+        let ma = p.amplitude.amperes() * 1.0e3;
+        assert!((1.0..100.0).contains(&ma), "amplitude {ma} mA");
+        assert!((p.charge().femtocoulombs() - 0.1602).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive Vds")]
+    fn transit_rejects_zero_vds() {
+        let _ = transit_time(Length::from_nm(20.0), Voltage::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn pulse_rejects_zero_width() {
+        let _ = CurrentPulse::from_charge(Charge::from_electrons(1.0), Time::ZERO);
+    }
+}

@@ -1,0 +1,86 @@
+//! Circuit-level study: critical charge of the 6T cell.
+//!
+//! Reproduces the paper's Section 4 observations on a single cell:
+//!
+//! * Q_crit per strike target (I1/I2/I3) and for combined strikes;
+//! * Q_crit vs supply voltage (why low-Vdd operation is soft-error prone);
+//! * the pulse-shape study — equal charge in a rectangular vs triangular
+//!   pulse, and a 10× wider pulse, all give (nearly) the same Q_crit;
+//! * the spread of Q_crit under threshold-voltage variation.
+//!
+//! Run with: `cargo run --release --example critical_charge`
+
+use finrad::prelude::*;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::soi_finfet_14nm();
+    let ch = CellCharacterizer::new(tech.clone(), CharacterizeOptions::default());
+    let nominal = HashMap::new();
+
+    println!("## Q_crit per strike target at Vdd = 0.8 V");
+    let vdd = Voltage::from_volts(0.8);
+    for target in StrikeTarget::ALL {
+        let q = ch.critical_charge(vdd, StrikeCombo::single(target), &nominal)?;
+        println!(
+            "  {target}: {:.4} fC ({:.0} electrons)",
+            q.femtocoulombs(),
+            q.electrons()
+        );
+    }
+    let q_all = ch.critical_charge(vdd, StrikeCombo::new(&StrikeTarget::ALL), &nominal)?;
+    println!(
+        "  {{I1+I2+I3}} (total, split equally): {:.4} fC",
+        q_all.femtocoulombs()
+    );
+
+    println!();
+    println!("## Q_crit vs supply voltage (single strike on I1)");
+    for vdd_v in [0.7, 0.8, 0.9, 1.0, 1.1] {
+        let q = ch.critical_charge(
+            Voltage::from_volts(vdd_v),
+            StrikeCombo::single(StrikeTarget::I1),
+            &nominal,
+        )?;
+        println!("  {vdd_v:.1} V: {:.4} fC", q.femtocoulombs());
+    }
+
+    println!();
+    println!("## Pulse-shape study (paper Section 4)");
+    for (label, options) in [
+        ("rectangular, tau", CharacterizeOptions::default()),
+        (
+            "rectangular, 10x tau",
+            CharacterizeOptions {
+                pulse_width: Some(1.6e-13),
+                ..CharacterizeOptions::default()
+            },
+        ),
+        (
+            "triangular, tau",
+            CharacterizeOptions {
+                shape: PulseShape::Triangular,
+                ..CharacterizeOptions::default()
+            },
+        ),
+    ] {
+        let ch2 = CellCharacterizer::new(tech.clone(), options);
+        let q = ch2.critical_charge(vdd, StrikeCombo::single(StrikeTarget::I1), &nominal)?;
+        println!("  {label:<22}: {:.4} fC", q.femtocoulombs());
+    }
+
+    println!();
+    println!("## Q_crit spread under Vth variation (60-sample MC)");
+    let curve = ch.characterize_combo(
+        vdd,
+        StrikeCombo::single(StrikeTarget::I1),
+        Variation::MonteCarlo { samples: 60 },
+        42,
+    )?;
+    println!(
+        "  min {:.4} fC, median {:.4} fC (weak cells dominate the array SER)",
+        curve.min_qcrit().femtocoulombs(),
+        curve.median_qcrit().femtocoulombs()
+    );
+    Ok(())
+}

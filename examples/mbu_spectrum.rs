@@ -1,0 +1,54 @@
+//! Upset-multiplicity spectrum: beyond the paper's single MBU/SEU number,
+//! the full distribution of 1-bit / 2-bit / 3-bit / … upsets per particle,
+//! computed with the exact Poisson-binomial combination of per-cell flip
+//! probabilities. This is the quantity an ECC architect needs (SECDED
+//! covers 1-bit; interleaving distance is set by the multi-bit tail).
+//!
+//! Run with: `cargo run --release --example mbu_spectrum`
+
+use finrad::core::array::{DataPattern, MemoryArray};
+use finrad::core::strike::{DepositMode, DirectionLaw, FlipModel, StrikeSimulator};
+use finrad::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let tech = Technology::soi_finfet_14nm();
+    let vdd = Voltage::from_volts(0.7); // worst case
+
+    let mut cfg = PipelineConfig::paper_baseline();
+    cfg.variation = Variation::MonteCarlo { samples: 60 };
+    let pipeline = SerPipeline::new(cfg);
+    let table = pipeline.build_pof_table(vdd)?;
+
+    let array = MemoryArray::build(&tech, 9, 9, DataPattern::Checkerboard);
+    let sim = StrikeSimulator::new(
+        &array,
+        FinTraversal::paper_default(),
+        &table,
+        DirectionLaw::IsotropicDown, // package alphas: isotropic arrival
+        DepositMode::ChordExact,
+        FlipModel::Expected,
+        None,
+    );
+
+    println!("## Upset multiplicity per 2 MeV alpha hit (9x9 array, 0.7 V)");
+    let pmf = sim.estimate_multiplicity(Particle::Alpha, Energy::from_mev(2.0), 60_000, 4, 7);
+    let p_any: f64 = pmf[1..].iter().sum();
+    println!("{:>8}  {:>14}  {:>16}", "k bits", "P(k | hit)", "share of upsets");
+    for (k, &p) in pmf.iter().enumerate().skip(1) {
+        let label = if k == pmf.len() - 1 {
+            format!(">={k}")
+        } else {
+            format!("{k}")
+        };
+        println!(
+            "{label:>8}  {p:>14.4e}  {:>15.2}%",
+            100.0 * p / p_any.max(1e-300)
+        );
+    }
+    println!();
+    println!(
+        "# SECDED-per-word leaves the >=2-bit tail ({:.3}% of upsets) to interleaving",
+        100.0 * pmf[2..].iter().sum::<f64>() / p_any.max(1e-300)
+    );
+    Ok(())
+}

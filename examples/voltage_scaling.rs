@@ -1,0 +1,52 @@
+//! Low-power design study: how does voltage scaling trade off against
+//! soft-error rate?
+//!
+//! This is the scenario the paper's introduction motivates: dynamic power
+//! falls quadratically with Vdd, but the SER — especially the
+//! proton-induced component — rises steeply, so a low-power design point
+//! pays a reliability tax. This example sweeps the supply and prints the
+//! power proxy next to the SER for both species.
+//!
+//! Run with: `cargo run --release --example voltage_scaling`
+
+use finrad::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let mut config = PipelineConfig::paper_baseline();
+    config.variation = Variation::MonteCarlo { samples: 60 };
+    config.iterations_per_energy = 5_000;
+    config.energy_bins = 8;
+    let pipeline = SerPipeline::new(config);
+
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>14}  {:>12}",
+        "Vdd", "proton FIT", "alpha FIT", "total FIT", "rel. power"
+    );
+    let nominal = 0.8f64;
+    let mut rows = Vec::new();
+    for vdd_v in [0.7, 0.8, 0.9, 1.0, 1.1] {
+        let vdd = Voltage::from_volts(vdd_v);
+        let table = pipeline.build_pof_table(vdd)?;
+        let proton = pipeline.run_with_table(Particle::Proton, vdd, &table);
+        let alpha = pipeline.run_with_table(Particle::Alpha, vdd, &table);
+        let total = proton.fit_total + alpha.fit_total;
+        // CV²f dynamic-power proxy relative to the 0.8 V nominal.
+        let power = (vdd_v / nominal).powi(2);
+        println!(
+            "{vdd_v:>6.2}  {:>14.4e}  {:>14.4e}  {total:>14.4e}  {power:>12.3}",
+            proton.fit_total, alpha.fit_total
+        );
+        rows.push((vdd_v, total, power));
+    }
+
+    // The reliability tax of the lowest-power point.
+    let (lo_v, lo_fit, lo_p) = rows[0];
+    let (hi_v, hi_fit, hi_p) = rows[rows.len() - 1];
+    println!();
+    println!(
+        "dropping {hi_v} V -> {lo_v} V saves {:.0}% dynamic power but multiplies SER by {:.1}x",
+        100.0 * (1.0 - lo_p / hi_p),
+        lo_fit / hi_fit
+    );
+    Ok(())
+}

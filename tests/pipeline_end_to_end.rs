@@ -1,0 +1,128 @@
+//! End-to-end integration tests of the full cross-layer pipeline.
+
+use finrad::prelude::*;
+
+fn smoke_pipeline() -> SerPipeline {
+    SerPipeline::new(PipelineConfig::smoke_test())
+}
+
+#[test]
+fn full_pipeline_produces_consistent_report() {
+    let pipeline = smoke_pipeline();
+    let report = pipeline
+        .run(Particle::Alpha, Voltage::from_volts(0.8))
+        .expect("pipeline run");
+    assert!(report.fit_total.is_finite());
+    assert!(report.fit_total >= 0.0);
+    // The decomposition is exact.
+    assert!(
+        (report.fit_seu + report.fit_mbu - report.fit_total).abs()
+            <= 1e-9 * report.fit_total.max(1.0)
+    );
+    // Every bin has a POF in [0, 1] and non-negative flux.
+    for bin in &report.bins {
+        assert!((0.0..=1.0).contains(&bin.pof_total));
+        assert!(bin.pof_seu <= bin.pof_total + 1e-12);
+        assert!(bin.spectrum.integral_flux.per_m2_second() >= 0.0);
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = smoke_pipeline()
+        .run(Particle::Alpha, Voltage::from_volts(0.8))
+        .expect("run a");
+    let b = smoke_pipeline()
+        .run(Particle::Alpha, Voltage::from_volts(0.8))
+        .expect("run b");
+    assert_eq!(a.fit_total, b.fit_total);
+    assert_eq!(a.fit_seu, b.fit_seu);
+    assert_eq!(a.fit_mbu, b.fit_mbu);
+}
+
+#[test]
+fn different_seed_changes_estimate_slightly() {
+    let a = smoke_pipeline()
+        .run(Particle::Alpha, Voltage::from_volts(0.8))
+        .expect("run a");
+    let mut cfg = PipelineConfig::smoke_test();
+    cfg.seed ^= 0xDEAD_BEEF;
+    let b = SerPipeline::new(cfg)
+        .run(Particle::Alpha, Voltage::from_volts(0.8))
+        .expect("run b");
+    // Same physics, different MC noise: close but not identical.
+    assert_ne!(a.fit_total, b.fit_total);
+    if a.fit_total > 0.0 {
+        let rel = (a.fit_total - b.fit_total).abs() / a.fit_total;
+        assert!(rel < 1.0, "estimates differ wildly: {rel}");
+    }
+}
+
+#[test]
+fn paper_headline_low_vdd_raises_both_species() {
+    let mut cfg = PipelineConfig::smoke_test();
+    cfg.iterations_per_energy = 2_000;
+    let pipeline = SerPipeline::new(cfg);
+    for particle in Particle::ALL {
+        let low = pipeline
+            .run(particle, Voltage::from_volts(0.7))
+            .expect("low vdd");
+        let high = pipeline
+            .run(particle, Voltage::from_volts(1.1))
+            .expect("high vdd");
+        assert!(
+            low.fit_total > high.fit_total,
+            "{particle}: FIT(0.7) = {} !> FIT(1.1) = {}",
+            low.fit_total,
+            high.fit_total
+        );
+    }
+}
+
+#[test]
+fn paper_headline_proton_falls_faster_with_vdd() {
+    let mut cfg = PipelineConfig::smoke_test();
+    cfg.iterations_per_energy = 4_000;
+    let pipeline = SerPipeline::new(cfg);
+    let ratio = |particle| {
+        let low = pipeline
+            .run(particle, Voltage::from_volts(0.7))
+            .expect("low");
+        let high = pipeline
+            .run(particle, Voltage::from_volts(1.1))
+            .expect("high");
+        low.fit_total / high.fit_total.max(1e-300)
+    };
+    let proton_fall = ratio(Particle::Proton);
+    let alpha_fall = ratio(Particle::Alpha);
+    assert!(
+        proton_fall > alpha_fall,
+        "proton fall {proton_fall} should exceed alpha fall {alpha_fall}"
+    );
+}
+
+#[test]
+fn reusing_pof_table_matches_fresh_run() {
+    let pipeline = smoke_pipeline();
+    let vdd = Voltage::from_volts(0.8);
+    let table = pipeline.build_pof_table(vdd).expect("table");
+    let a = pipeline.run_with_table(Particle::Proton, vdd, &table);
+    let b = pipeline.run(Particle::Proton, vdd).expect("fresh");
+    assert_eq!(a.fit_total, b.fit_total);
+}
+
+#[test]
+fn array_pattern_affects_geometry_but_not_sanity() {
+    for pattern in [
+        DataPattern::Checkerboard,
+        DataPattern::AllOnes,
+        DataPattern::AllZeros,
+    ] {
+        let mut cfg = PipelineConfig::smoke_test();
+        cfg.pattern = pattern;
+        let report = SerPipeline::new(cfg)
+            .run(Particle::Alpha, Voltage::from_volts(0.8))
+            .expect("run");
+        assert!(report.fit_total.is_finite() && report.fit_total >= 0.0);
+    }
+}
