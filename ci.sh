@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full CI gate, runnable locally. Everything is offline: the workspace has
+# no external dependencies, so --offline both enforces and documents that.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo xtask lint --deny-all"
+cargo xtask lint --deny-all
+
+echo "CI gate passed."

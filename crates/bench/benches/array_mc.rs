@@ -3,7 +3,7 @@
 //! These benches measure our per-iteration cost so the same throughput
 //! claim can be checked on any machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use finrad_bench::harness::Harness;
 use finrad_core::array::{DataPattern, MemoryArray};
 use finrad_core::strike::{
     combine_cell_pofs, DepositMode, DirectionLaw, FlipModel, StrikeSimulator,
@@ -11,11 +11,10 @@ use finrad_core::strike::{
 use finrad_finfet::Technology;
 use finrad_geometry::trace::trace_boxes;
 use finrad_geometry::{Ray, Vec3};
+use finrad_numerics::rng::Xoshiro256pp;
 use finrad_sram::{CellCharacterizer, CharacterizeOptions, PofTable, Variation};
 use finrad_transport::fin::FinTraversal;
 use finrad_units::{Energy, Particle, Voltage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn nominal_table() -> PofTable {
@@ -31,7 +30,7 @@ fn nominal_table() -> PofTable {
     .expect("characterization")
 }
 
-fn bench_ray_trace(c: &mut Criterion) {
+fn bench_ray_trace(c: &mut Harness) {
     // Tracing one ray against all 486 fin boxes of the paper's 9x9 array.
     let array = MemoryArray::build(
         &Technology::soi_finfet_14nm(),
@@ -51,7 +50,7 @@ fn bench_ray_trace(c: &mut Criterion) {
     });
 }
 
-fn bench_strike_iteration(c: &mut Criterion) {
+fn bench_strike_iteration(c: &mut Harness) {
     // One full Section 5.1 iteration (the paper's 10^7-count kernel).
     let array = MemoryArray::build(
         &Technology::soi_finfet_14nm(),
@@ -60,7 +59,6 @@ fn bench_strike_iteration(c: &mut Criterion) {
         DataPattern::Checkerboard,
     );
     let table = nominal_table();
-    let mut group = c.benchmark_group("fig8_strike_iteration");
     for (name, model) in [
         ("sampled", FlipModel::Sampled),
         ("expected", FlipModel::Expected),
@@ -74,42 +72,31 @@ fn bench_strike_iteration(c: &mut Criterion) {
             model,
             None,
         );
-        group.bench_function(name, |b| {
-            let mut rng = StdRng::seed_from_u64(7);
-            b.iter(|| {
-                black_box(sim.simulate_one(Particle::Alpha, Energy::from_mev(2.0), &mut rng))
-            })
+        c.bench_function(&format!("fig8_strike_iteration/{name}"), |b| {
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            b.iter(|| black_box(sim.simulate_one(Particle::Alpha, Energy::from_mev(2.0), &mut rng)))
         });
     }
-    group.finish();
 }
 
-fn bench_eqs_4_to_6(c: &mut Criterion) {
+fn bench_eqs_4_to_6(c: &mut Harness) {
     let pofs = [0.31, 0.02, 0.77, 0.001, 0.5];
     c.bench_function("combine_cell_pofs_eqs4to6", |b| {
         b.iter(|| black_box(combine_cell_pofs(black_box(&pofs))))
     });
 }
 
-fn bench_array_build(c: &mut Criterion) {
+fn bench_array_build(c: &mut Harness) {
     let tech = Technology::soi_finfet_14nm();
     c.bench_function("build_9x9_array", |b| {
-        b.iter(|| {
-            black_box(MemoryArray::build(
-                &tech,
-                9,
-                9,
-                DataPattern::Checkerboard,
-            ))
-        })
+        b.iter(|| black_box(MemoryArray::build(&tech, 9, 9, DataPattern::Checkerboard)))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_ray_trace,
-    bench_strike_iteration,
-    bench_eqs_4_to_6,
-    bench_array_build
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_ray_trace(&mut h);
+    bench_strike_iteration(&mut h);
+    bench_eqs_4_to_6(&mut h);
+    bench_array_build(&mut h);
+}

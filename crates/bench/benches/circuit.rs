@@ -1,7 +1,7 @@
 //! Circuit-level kernels: the SPICE-substitute transient engine that backs
 //! the POF characterization (Section 4 of the paper).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use finrad_bench::harness::Harness;
 use finrad_finfet::{FinFet, Polarity, Technology};
 use finrad_spice::analysis::{self, NewtonOptions, Phase, TimeStepPlan};
 use finrad_sram::scenario::StrikeEvent;
@@ -12,7 +12,7 @@ use finrad_units::Voltage;
 use std::collections::HashMap;
 use std::hint::black_box;
 
-fn bench_device_eval(c: &mut Criterion) {
+fn bench_device_eval(c: &mut Harness) {
     let tech = Technology::soi_finfet_14nm();
     let nfet = FinFet::new(&tech, Polarity::Nmos, 1);
     c.bench_function("finfet_model_eval", |b| {
@@ -24,21 +24,20 @@ fn bench_device_eval(c: &mut Criterion) {
     });
 }
 
-fn bench_dc_operating_point(c: &mut Criterion) {
+fn bench_dc_operating_point(c: &mut Harness) {
     let cell = SramCell::new(&Technology::soi_finfet_14nm(), Voltage::from_volts(0.8));
     let opts = NewtonOptions::default();
     let guess = cell.initial_conditions(CellState::One);
     c.bench_function("sram_dc_operating_point", |b| {
         b.iter(|| {
             black_box(
-                analysis::dc_operating_point_from(cell.circuit(), &opts, &guess)
-                    .expect("dc op"),
+                analysis::dc_operating_point_from(cell.circuit(), &opts, &guess).expect("dc op"),
             )
         })
     });
 }
 
-fn bench_hold_transient(c: &mut Criterion) {
+fn bench_hold_transient(c: &mut Harness) {
     let cell = SramCell::new(&Technology::soi_finfet_14nm(), Voltage::from_volts(0.8));
     let plan = TimeStepPlan::new(vec![Phase {
         duration: 5.0e-12,
@@ -56,7 +55,7 @@ fn bench_hold_transient(c: &mut Criterion) {
     });
 }
 
-fn bench_strike_transient(c: &mut Criterion) {
+fn bench_strike_transient(c: &mut Harness) {
     // One POF-characterization sample: inject, integrate, decode — the
     // kernel executed ~20k times per (Vdd, combo) table entry.
     let tech = Technology::soi_finfet_14nm();
@@ -64,28 +63,19 @@ fn bench_strike_transient(c: &mut Criterion) {
     c.bench_function("sram_strike_transient", |b| {
         b.iter(|| {
             let mut cell = SramCell::new(&tech, Voltage::from_volts(0.8));
-            let ev = StrikeEvent::rectangular(
-                vec![(StrikeTarget::I1, 1.2e-16)],
-                2.0e-15,
-                1.6e-14,
-            );
+            let ev = StrikeEvent::rectangular(vec![(StrikeTarget::I1, 1.2e-16)], 2.0e-15, 1.6e-14);
             ev.inject(&mut cell, CellState::One);
             let plan = TimeStepPlan::for_pulse(2.0e-15, 1.6e-14, 5.0e-12);
             let ic = cell.initial_conditions(CellState::One);
-            let res = analysis::transient(
-                cell.circuit(),
-                &plan,
-                &ic,
-                &[cell.q(), cell.qb()],
-                &opts,
-            )
-            .expect("transient");
+            let res =
+                analysis::transient(cell.circuit(), &plan, &ic, &[cell.q(), cell.qb()], &opts)
+                    .expect("transient");
             black_box(res.final_voltage(cell.q()))
         })
     });
 }
 
-fn bench_critical_charge(c: &mut Criterion) {
+fn bench_critical_charge(c: &mut Harness) {
     let ch = CellCharacterizer::new(
         Technology::soi_finfet_14nm(),
         CharacterizeOptions {
@@ -95,9 +85,7 @@ fn bench_critical_charge(c: &mut Criterion) {
         },
     );
     let none = HashMap::new();
-    let mut group = c.benchmark_group("characterization");
-    group.sample_size(10);
-    group.bench_function("critical_charge_bisection", |b| {
+    c.bench_function("characterization/critical_charge_bisection", |b| {
         b.iter(|| {
             black_box(
                 ch.critical_charge(
@@ -109,15 +97,13 @@ fn bench_critical_charge(c: &mut Criterion) {
             )
         })
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_device_eval,
-    bench_dc_operating_point,
-    bench_hold_transient,
-    bench_strike_transient,
-    bench_critical_charge
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_device_eval(&mut h);
+    bench_dc_operating_point(&mut h);
+    bench_hold_transient(&mut h);
+    bench_strike_transient(&mut h);
+    bench_critical_charge(&mut h);
+}

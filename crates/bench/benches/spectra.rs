@@ -1,13 +1,13 @@
 //! Environment-level kernels: flux-spectrum evaluation, discretization
 //! (the paper's Eq. 8 binning) and FIT integration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use finrad_bench::harness::Harness;
 use finrad_core::fit::{fit_rate, PofBin};
 use finrad_environment::{AlphaSpectrum, ProtonSpectrum, Spectrum, SpectrumBin};
 use finrad_units::{Area, Energy, Flux};
 use std::hint::black_box;
 
-fn bench_spectrum_eval(c: &mut Criterion) {
+fn bench_spectrum_eval(c: &mut Harness) {
     let proton = ProtonSpectrum::sea_level();
     c.bench_function("proton_spectrum_eval", |b| {
         let mut e = 0.1f64;
@@ -26,23 +26,21 @@ fn bench_spectrum_eval(c: &mut Criterion) {
     });
 }
 
-fn bench_integral_flux(c: &mut Criterion) {
+fn bench_integral_flux(c: &mut Harness) {
     let proton = ProtonSpectrum::sea_level();
     c.bench_function("integral_flux_256_panels", |b| {
-        b.iter(|| {
-            black_box(proton.integral_flux(Energy::from_mev(0.1), Energy::from_mev(100.0)))
-        })
+        b.iter(|| black_box(proton.integral_flux(Energy::from_mev(0.1), Energy::from_mev(100.0))))
     });
 }
 
-fn bench_discretize(c: &mut Criterion) {
+fn bench_discretize(c: &mut Harness) {
     let alpha = AlphaSpectrum::paper_default();
     c.bench_function("discretize_20_bins", |b| {
         b.iter(|| black_box(alpha.discretize(20)))
     });
 }
 
-fn bench_fit_integration(c: &mut Criterion) {
+fn bench_fit_integration(c: &mut Harness) {
     let bins: Vec<PofBin> = (0..20)
         .map(|i| {
             let e = 0.2 * (i + 1) as f64;
@@ -65,11 +63,10 @@ fn bench_fit_integration(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_spectrum_eval,
-    bench_integral_flux,
-    bench_discretize,
-    bench_fit_integration
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_spectrum_eval(&mut h);
+    bench_integral_flux(&mut h);
+    bench_discretize(&mut h);
+    bench_fit_integration(&mut h);
+}

@@ -1,17 +1,16 @@
 //! Device-level kernels: the Geant4-substitute Monte Carlo (Fig. 4's
 //! engine) and its pieces.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use finrad_bench::harness::{BatchSize, Harness};
+use finrad_numerics::rng::Xoshiro256pp;
 use finrad_transport::fin::FinTraversal;
 use finrad_transport::lut::EhpLut;
 use finrad_transport::stopping::StoppingModel;
 use finrad_transport::straggling::{self, StragglingModel};
 use finrad_units::{Energy, Length, Particle};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_stopping_power(c: &mut Criterion) {
+fn bench_stopping_power(c: &mut Harness) {
     let model = StoppingModel::silicon();
     c.bench_function("stopping_power_eval", |b| {
         let mut e = 0.1f64;
@@ -22,27 +21,27 @@ fn bench_stopping_power(c: &mut Criterion) {
     });
 }
 
-fn bench_fin_traversal(c: &mut Criterion) {
+fn bench_fin_traversal(c: &mut Harness) {
     // One Fig. 4 Monte-Carlo sample: random chord + straggled deposit +
     // pair sampling. The paper runs 10^7 of these per energy point.
     let sim = FinTraversal::paper_default();
     c.bench_function("fig4_fin_traversal", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         b.iter(|| black_box(sim.simulate(Particle::Alpha, Energy::from_mev(2.0), &mut rng)))
     });
 }
 
-fn bench_lut_build_and_lookup(c: &mut Criterion) {
+fn bench_lut_build_and_lookup(c: &mut Harness) {
     let sim = FinTraversal::paper_default();
     c.bench_function("fig4_lut_build_6pts_x_500", |b| {
         b.iter_batched(
-            || StdRng::seed_from_u64(2),
+            || Xoshiro256pp::seed_from_u64(2),
             |mut rng| {
                 black_box(EhpLut::build(
                     &sim,
                     Particle::Proton,
-                    0.1,
-                    100.0,
+                    Energy::from_mev(0.1),
+                    Energy::from_mev(100.0),
                     6,
                     500,
                     &mut rng,
@@ -52,8 +51,16 @@ fn bench_lut_build_and_lookup(c: &mut Criterion) {
         )
     });
 
-    let mut rng = StdRng::seed_from_u64(3);
-    let lut = EhpLut::build(&sim, Particle::Alpha, 0.1, 100.0, 12, 2_000, &mut rng);
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
+    let lut = EhpLut::build(
+        &sim,
+        Particle::Alpha,
+        Energy::from_mev(0.1),
+        Energy::from_mev(100.0),
+        12,
+        2_000,
+        &mut rng,
+    );
     c.bench_function("lut_lookup", |b| {
         let mut e = 0.2f64;
         b.iter(|| {
@@ -63,12 +70,12 @@ fn bench_lut_build_and_lookup(c: &mut Criterion) {
     });
 }
 
-fn bench_straggling(c: &mut Criterion) {
+fn bench_straggling(c: &mut Harness) {
     let model = StoppingModel::silicon();
     let e = Energy::from_mev(1.0);
     let chord = Length::from_nm(25.0);
     c.bench_function("landau_sample", |b| {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         b.iter(|| {
             black_box(straggling::sample_energy_loss(
                 &model,
@@ -90,11 +97,10 @@ fn bench_straggling(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_stopping_power,
-    bench_fin_traversal,
-    bench_lut_build_and_lookup,
-    bench_straggling
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_stopping_power(&mut h);
+    bench_fin_traversal(&mut h);
+    bench_lut_build_and_lookup(&mut h);
+    bench_straggling(&mut h);
+}

@@ -14,28 +14,30 @@
 
 use finrad_bench::{figure_config, Scale};
 use finrad_core::array::{DataPattern, MemoryArray};
-use finrad_core::strike::{DepositMode, DirectionLaw, FlipModel, StrikeSimulator};
 use finrad_core::pipeline::SerPipeline;
+use finrad_core::strike::{DepositMode, DirectionLaw, FlipModel, StrikeSimulator};
 use finrad_finfet::Technology;
+use finrad_numerics::rng::Xoshiro256pp;
 use finrad_sram::{CellCharacterizer, CharacterizeOptions, PofTable, Variation};
 use finrad_transport::fin::{FinGeometry, FinTraversal};
 use finrad_transport::lut::EhpLut;
 use finrad_transport::stopping::StoppingModel;
 use finrad_transport::straggling::StragglingModel;
 use finrad_units::{Energy, Particle, Voltage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn table(scale: Scale) -> PofTable {
-    CellCharacterizer::new(Technology::soi_finfet_14nm(), CharacterizeOptions::default())
-        .build_table(
-            Voltage::from_volts(0.8),
-            Variation::MonteCarlo {
-                samples: scale.variation_samples(),
-            },
-            11,
-        )
-        .expect("characterization failed")
+    CellCharacterizer::new(
+        Technology::soi_finfet_14nm(),
+        CharacterizeOptions::default(),
+    )
+    .build_table(
+        Voltage::from_volts(0.8),
+        Variation::MonteCarlo {
+            samples: scale.variation_samples(),
+        },
+        11,
+    )
+    .expect("characterization failed")
 }
 
 fn main() {
@@ -91,12 +93,12 @@ fn main() {
     println!();
 
     println!("## Ablation 2: chord-exact vs paper LUT deposits (alpha, 0.8 V)");
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = Xoshiro256pp::seed_from_u64(23);
     let lut = EhpLut::build(
         &traversal_with(StragglingModel::Auto),
         Particle::Alpha,
-        0.1,
-        100.0,
+        Energy::from_mev(0.1),
+        Energy::from_mev(100.0),
         13,
         scale.lut_samples(),
         &mut rng,
@@ -136,10 +138,7 @@ fn main() {
     println!();
 
     println!("## Ablation 3: data pattern (alpha POF / MBU fraction at 2 MeV, 0.8 V)");
-    println!(
-        "# {:>14}  {:>14}  {:>12}",
-        "pattern", "POF", "MBU/SEU %"
-    );
+    println!("# {:>14}  {:>14}  {:>12}", "pattern", "POF", "MBU/SEU %");
     for (name, pattern) in [
         ("checkerboard", DataPattern::Checkerboard),
         ("all-ones", DataPattern::AllOnes),
@@ -165,10 +164,7 @@ fn main() {
     println!();
 
     println!("## Ablation 4: arrival-direction law (alpha at 2 MeV, 0.8 V)");
-    println!(
-        "# {:>14}  {:>14}  {:>12}",
-        "law", "POF", "MBU/SEU %"
-    );
+    println!("# {:>14}  {:>14}  {:>12}", "law", "POF", "MBU/SEU %");
     for (name, law) in [
         ("cosine-down", DirectionLaw::CosineDown),
         ("isotropic-down", DirectionLaw::IsotropicDown),
@@ -194,8 +190,7 @@ fn main() {
     println!("## Context: FIT at 0.8 V from the default pipeline");
     let pipeline = SerPipeline::new(figure_config(scale));
     for particle in Particle::ALL {
-        let report = pipeline
-            .run_with_table(particle, Voltage::from_volts(0.8), &pof);
+        let report = pipeline.run_with_table(particle, Voltage::from_volts(0.8), &pof);
         println!(
             "  {particle:>7}: {:.4e} FIT (MBU/SEU {:.3}%)",
             report.fit_total,

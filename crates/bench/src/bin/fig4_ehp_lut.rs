@@ -10,24 +10,23 @@
 //! (`FINRAD_FULL=1` for paper-scale sampling)
 
 use finrad_bench::Scale;
+use finrad_numerics::rng::Xoshiro256pp;
 use finrad_transport::fin::FinTraversal;
 use finrad_transport::lut::EhpLut;
-use finrad_units::Particle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use finrad_units::{Energy, Particle};
 
 fn main() {
     let scale = Scale::from_env();
     let sim = FinTraversal::paper_default();
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
 
     let mut luts = Vec::new();
     for particle in Particle::ALL {
         let lut = EhpLut::build(
             &sim,
             particle,
-            0.1,
-            100.0,
+            Energy::from_mev(0.1),
+            Energy::from_mev(100.0),
             17,
             scale.lut_samples(),
             &mut rng,

@@ -50,7 +50,10 @@ fn main() {
 
     let (p07, a07) = (rows[0].1.fit_total, rows[0].2.fit_total);
     let (p11, a11) = (rows[4].1.fit_total, rows[4].2.fit_total);
-    println!("# check: proton/alpha SER ratio at 0.7 V = {:.3} (paper: comparable, O(0.1-1))", p07 / a07.max(1e-300));
+    println!(
+        "# check: proton/alpha SER ratio at 0.7 V = {:.3} (paper: comparable, O(0.1-1))",
+        p07 / a07.max(1e-300)
+    );
     println!("# check: proton SER fall 0.7->1.1 V = {:.3e}x; alpha fall = {:.3e}x (paper: proton falls much faster)",
         p07 / p11.max(1e-300), a07 / a11.max(1e-300));
 }

@@ -41,7 +41,10 @@ fn main() {
     );
 
     println!("# Neutron-induced SER (extension; indirect ionization)");
-    println!("# {:>10}  {:>14}  {:>16}", "E (MeV)", "POF/history", "IntFlux (1/m2 s)");
+    println!(
+        "# {:>10}  {:>14}  {:>16}",
+        "E (MeV)", "POF/history", "IntFlux (1/m2 s)"
+    );
     for b in &bins {
         println!(
             "{:>12.3e}  {:>14.6e}  {:>16.6e}",
@@ -60,10 +63,7 @@ fn main() {
     // Context: the direct-ionization rates from the main flow.
     for particle in Particle::ALL {
         let report = pipeline.run_with_table(particle, vdd, &table);
-        println!(
-            "{particle:>8} SER at 0.8 V: {:.4e} FIT",
-            report.fit_total
-        );
+        println!("{particle:>8} SER at 0.8 V: {:.4e} FIT", report.fit_total);
     }
     println!();
     println!("# SOI strongly suppresses indirect ionization (tiny sensitive volume,");

@@ -6,8 +6,8 @@
 //! Usage: `cargo run --release -p finrad-bench --bin pulse_shape_study`
 
 use finrad_finfet::Technology;
-use finrad_sram::{CellCharacterizer, CharacterizeOptions, StrikeCombo, StrikeTarget};
 use finrad_spice::PulseShape;
+use finrad_sram::{CellCharacterizer, CharacterizeOptions, StrikeCombo, StrikeTarget};
 use finrad_units::Voltage;
 use std::collections::HashMap;
 

@@ -1,0 +1,159 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace cannot
+//! depend on `criterion`. This module provides the small slice of its API
+//! the benches actually use: named benchmarks, a calibrated measurement
+//! loop, and per-iteration setup via [`Bencher::iter_batched`]. Timings are
+//! printed as `name ... <ns>/iter`.
+//!
+//! The per-benchmark time budget defaults to 300 ms and can be changed with
+//! the `FINRAD_BENCH_MS` environment variable.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Batch-size hint, kept for call-site compatibility with criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// Setup output is small; batches can be large.
+    #[default]
+    SmallInput,
+    /// Setup output is large; keep batches small.
+    LargeInput,
+}
+
+/// Top-level harness: owns the time budget and prints results.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    budget: Duration,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Harness {
+    /// Builds a harness with the budget from `FINRAD_BENCH_MS` (default
+    /// 300 ms per benchmark).
+    pub fn from_env() -> Self {
+        let ms = std::env::var("FINRAD_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            budget: Duration::from_millis(ms.max(1)),
+        }
+    }
+
+    /// Runs one named benchmark. The closure receives a [`Bencher`] and
+    /// must call [`Bencher::iter`] or [`Bencher::iter_batched`] exactly
+    /// once.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            budget: self.budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = if b.iters > 0 {
+            b.elapsed.as_nanos() / u128::from(b.iters)
+        } else {
+            0
+        };
+        println!("{name:<40} {per:>12} ns/iter  ({} iters)", b.iters);
+    }
+}
+
+/// Measurement state for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` in a calibrated loop: a short warm-up sizes the iteration
+    /// count so the measured loop fills the time budget.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let mut n: u64 = 1;
+        let warmup = (self.budget / 20).max(Duration::from_millis(5));
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= warmup || n >= (1 << 30) {
+                let per_ns = (dt.as_nanos() / u128::from(n)).max(1);
+                let target = self.budget.as_nanos().saturating_sub(dt.as_nanos());
+                let iters = (target / per_ns).clamp(1, 1_000_000_000) as u64;
+                let t1 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.iters = iters;
+                self.elapsed = t1.elapsed();
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+
+    /// Like [`Self::iter`], but re-creates the routine input with `setup`
+    /// before every call, excluding setup time from the measurement.
+    pub fn iter_batched<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+        _size: BatchSize,
+    ) {
+        // Calibrate on a handful of timed single calls.
+        let mut timed = Duration::ZERO;
+        let mut calls: u64 = 0;
+        while timed < (self.budget / 20).max(Duration::from_millis(5)) && calls < (1 << 20) {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            timed += t0.elapsed();
+            calls += 1;
+        }
+        let per_ns = (timed.as_nanos() / u128::from(calls.max(1))).max(1);
+        let target = self.budget.as_nanos().saturating_sub(timed.as_nanos());
+        let iters = (target / per_ns).clamp(1, 10_000_000) as u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            elapsed += t0.elapsed();
+        }
+        self.iters = iters + calls;
+        self.elapsed = elapsed + timed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut h = Harness {
+            budget: Duration::from_millis(10),
+        };
+        h.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_measures_something() {
+        let mut h = Harness {
+            budget: Duration::from_millis(10),
+        };
+        h.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,5 +1,5 @@
-//! Shared plumbing for the figure-regeneration binaries and Criterion
-//! benches.
+//! Shared plumbing for the figure-regeneration binaries and the
+//! dependency-free micro-benchmark harness ([`harness`]).
 //!
 //! Every figure of the paper's evaluation section has a binary in
 //! `src/bin/` that prints the corresponding series (normalized the same
@@ -9,6 +9,11 @@
 //!   verify every trend.
 //! * **full** (`FINRAD_FULL=1`) — paper-scale statistics (1000-sample
 //!   variation MC, 10⁵–10⁶ strike iterations per energy).
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod harness;
 
 use finrad_core::pipeline::PipelineConfig;
 use finrad_sram::Variation;

@@ -13,10 +13,10 @@ use finrad_geometry::{Aabb, Vec3};
 use finrad_sram::layout::CellLayout;
 use finrad_sram::{CellState, StrikeTarget, TransistorRole};
 use finrad_units::Area;
-use serde::{Deserialize, Serialize};
 
 /// The data pattern stored in the array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DataPattern {
     /// Alternating 0/1 in both directions (the physical-design default for
     /// SER testing).
@@ -118,8 +118,7 @@ impl MemoryArray {
                 let mirror_y = row % 2 == 1;
                 let offset = Vec3::new(col as f64 * w, row as f64 * d, 0.0);
                 for &(role, device_box) in layout.boxes() {
-                    let placed = place_box(device_box, w, d, mirror_x, mirror_y)
-                        .translated(offset);
+                    let placed = place_box(device_box, w, d, mirror_x, mirror_y).translated(offset);
                     fins.push(SensitiveFin {
                         aabb: placed,
                         cell,
@@ -129,10 +128,8 @@ impl MemoryArray {
                 }
             }
         }
-        let bounds = Aabb::from_min_size(
-            Vec3::ZERO,
-            Vec3::new(cols as f64 * w, rows as f64 * d, h),
-        );
+        let bounds =
+            Aabb::from_min_size(Vec3::ZERO, Vec3::new(cols as f64 * w, rows as f64 * d, h));
         Self {
             rows,
             cols,
@@ -196,6 +193,21 @@ impl MemoryArray {
     }
 }
 
+/// Clamps a per-cell probability of failure to `[0, 1]`.
+///
+/// The array-level Monte-Carlo combines cell POFs multiplicatively
+/// (`1 - Π(1 - pᵢ)`), so a value outside the unit interval — even by a
+/// rounding ulp — would silently corrupt the SEU/MBU split. Debug builds
+/// assert the input was already a probability up to floating-point noise;
+/// release builds clamp.
+pub fn clamp_pof(p: f64) -> f64 {
+    debug_assert!(
+        p.is_finite() && (-1e-12..=1.0 + 1e-12).contains(&p),
+        "cell POF {p} outside [0, 1]"
+    );
+    p.clamp(0.0, 1.0)
+}
+
 /// Mirrors a cell-local box per the tiling parity, keeping it inside the
 /// cell frame.
 fn place_box(b: Aabb, cell_w: f64, cell_d: f64, mirror_x: bool, mirror_y: bool) -> Aabb {
@@ -234,6 +246,20 @@ mod tests {
         assert_eq!(a.cell_count(), 81);
         assert_eq!(a.fins().len(), 486);
         assert_eq!(a.pattern(), DataPattern::Checkerboard);
+    }
+
+    #[test]
+    fn clamp_pof_absorbs_rounding_noise() {
+        assert_eq!(clamp_pof(1.0 + 1.0e-13), 1.0);
+        assert_eq!(clamp_pof(-1.0e-13), 0.0);
+        assert_eq!(clamp_pof(0.5), 0.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn clamp_pof_rejects_non_probability() {
+        let _ = clamp_pof(1.5);
     }
 
     #[test]
@@ -291,7 +317,11 @@ mod tests {
             let row = f.cell / 9;
             let cell_box = Aabb::new(
                 Vec3::new(col as f64 * w, row as f64 * d, 0.0),
-                Vec3::new((col + 1) as f64 * w, (row + 1) as f64 * d, layout.fin_height.meters()),
+                Vec3::new(
+                    (col + 1) as f64 * w,
+                    (row + 1) as f64 * d,
+                    layout.fin_height.meters(),
+                ),
             );
             assert!(cell_box.contains(f.aabb.min_corner()));
             assert!(cell_box.contains(f.aabb.max_corner()));
@@ -305,11 +335,22 @@ mod tests {
         let a = array();
         let layout = CellLayout::paper_fig5b(&Technology::soi_finfet_14nm());
         let w = layout.width.meters();
-        let pd0 = a.fins().iter().find(|f| f.cell == 0 && f.role == TransistorRole::PullDownLeft).unwrap();
-        let pd1 = a.fins().iter().find(|f| f.cell == 1 && f.role == TransistorRole::PullDownLeft).unwrap();
+        let pd0 = a
+            .fins()
+            .iter()
+            .find(|f| f.cell == 0 && f.role == TransistorRole::PullDownLeft)
+            .unwrap();
+        let pd1 = a
+            .fins()
+            .iter()
+            .find(|f| f.cell == 1 && f.role == TransistorRole::PullDownLeft)
+            .unwrap();
         let local0 = pd0.aabb.min_corner().x;
         let local1 = pd1.aabb.min_corner().x - w;
-        assert!((local0 - local1).abs() > 1.0e-9 * w, "mirroring had no effect");
+        assert!(
+            (local0 - local1).abs() > 1.0e-9 * w,
+            "mirroring had no effect"
+        );
     }
 
     #[test]

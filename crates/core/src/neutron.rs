@@ -15,18 +15,17 @@
 //! micron-scale range, this keeps neutron statistics tractable at the same
 //! iteration counts as the direct flow.
 
-use crate::array::MemoryArray;
+use crate::array::{clamp_pof, MemoryArray};
 use crate::fit::{fit_rate, FitRate, PofBin};
 use crate::strike::{combine_cell_pofs, ArrayPofEstimate, IterationOutcome};
 use finrad_environment::{NeutronSpectrum, Spectrum};
 use finrad_geometry::trace::trace_boxes;
 use finrad_geometry::{sampling, Aabb, Ray, Vec3};
+use finrad_numerics::rng::{Rng, Xoshiro256pp};
 use finrad_sram::{PofTable, StrikeCombo, StrikeTarget};
-use finrad_units::{Charge, Energy, Length, constants};
 use finrad_transport::neutron::NeutronInteraction;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use finrad_units::{constants, Charge, Energy, Length};
+use std::collections::BTreeMap;
 
 /// Geometry of the neutron interaction volume around the array.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,11 +93,7 @@ impl<'a> NeutronSimulator<'a> {
     }
 
     /// One importance-weighted neutron history at energy `energy`.
-    pub fn simulate_one<R: Rng + ?Sized>(
-        &self,
-        energy: Energy,
-        rng: &mut R,
-    ) -> IterationOutcome {
+    pub fn simulate_one<R: Rng + ?Sized>(&self, energy: Energy, rng: &mut R) -> IterationOutcome {
         // Neutron entry on the inflated top plane, cosine-law downward.
         let launch = sampling::point_on_top_face(rng, &self.volume);
         let dir = sampling::cosine_law_hemisphere(rng);
@@ -126,7 +121,7 @@ impl<'a> NeutronSimulator<'a> {
         }
         let range = ion.range().meters();
         let mut remaining = ion.energy;
-        let mut per_cell: HashMap<usize, Vec<(StrikeTarget, f64)>> = HashMap::new();
+        let mut per_cell: BTreeMap<usize, Vec<(StrikeTarget, f64)>> = BTreeMap::new();
         for crossing in &crossings {
             if remaining.ev() <= 0.0 || crossing.hit.t_enter > range {
                 break;
@@ -153,7 +148,7 @@ impl<'a> NeutronSimulator<'a> {
             let targets: Vec<StrikeTarget> = hits.iter().map(|(t, _)| *t).collect();
             let combo = StrikeCombo::new(&targets);
             let total: f64 = hits.iter().map(|(_, q)| q).sum();
-            pofs.push(self.pof.pof(combo, Charge::from_coulombs(total)));
+            pofs.push(clamp_pof(self.pof.pof(combo, Charge::from_coulombs(total))));
         }
         let outcome = combine_cell_pofs(&pofs);
         // Importance weight: the forced reaction actually happens with
@@ -178,7 +173,7 @@ impl<'a> NeutronSimulator<'a> {
             .unwrap_or(1)
             .min(iterations);
         let chunk = iterations.div_ceil(n_threads);
-        let partials: Vec<ArrayPofEstimate> = crossbeam::thread::scope(|scope| {
+        let partials: Vec<ArrayPofEstimate> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for w in 0..n_threads {
                 let start = w * chunk;
@@ -187,8 +182,8 @@ impl<'a> NeutronSimulator<'a> {
                     break;
                 }
                 let this = &self;
-                handles.push(scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(
+                handles.push(scope.spawn(move || {
+                    let mut rng = Xoshiro256pp::seed_from_u64(
                         seed ^ (w + 1).wrapping_mul(0xA076_1D64_78BD_642F),
                     );
                     let mut acc = ArrayPofEstimate::default();
@@ -202,8 +197,7 @@ impl<'a> NeutronSimulator<'a> {
                 .into_iter()
                 .map(|h| h.join().expect("neutron worker panicked"))
                 .collect()
-        })
-        .expect("neutron scope");
+        });
         let mut out = ArrayPofEstimate::default();
         for p in &partials {
             out.merge(p);

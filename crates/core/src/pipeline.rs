@@ -12,11 +12,10 @@ use crate::strike::{ArrayPofEstimate, DepositMode, DirectionLaw, FlipModel, Stri
 use crate::CoreError;
 use finrad_environment::{AlphaSpectrum, ProtonSpectrum, Spectrum, SpectrumBin};
 use finrad_finfet::Technology;
+use finrad_numerics::rng::Xoshiro256pp;
 use finrad_sram::{CellCharacterizer, CharacterizeOptions, PofTable, Variation};
 use finrad_transport::fin::{FinGeometry, FinTraversal};
 use finrad_transport::lut::EhpLut;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use finrad_transport::stopping::StoppingModel;
 use finrad_transport::straggling::StragglingModel;
 use finrad_units::{Energy, Particle, Voltage};
@@ -210,12 +209,12 @@ impl SerPipeline {
     /// Builds the device-level electron-hole pair LUT for `particle`
     /// (needed by [`DepositMode::LutMean`]; built over 0.1-10^3 MeV).
     pub fn build_ehp_lut(&self, particle: Particle) -> EhpLut {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x1A7 ^ particle as u64);
+        let mut rng = Xoshiro256pp::seed_from_u64(self.config.seed ^ 0x1A7 ^ particle as u64);
         EhpLut::build(
             &self.traversal(),
             particle,
-            0.1,
-            1.0e3,
+            Energy::from_mev(0.1),
+            Energy::from_mev(1.0e3),
             self.config.lut_energy_points,
             self.config.lut_samples,
             &mut rng,
@@ -239,20 +238,15 @@ impl SerPipeline {
         match particle {
             Particle::Alpha => spectrum.discretize(self.config.energy_bins),
             Particle::Proton => {
-                let bins = finrad_numerics::quadrature::log_bins(
-                    0.1,
-                    1.0e3,
-                    self.config.energy_bins,
-                );
+                let bins =
+                    finrad_numerics::quadrature::log_bins(0.1, 1.0e3, self.config.energy_bins);
                 bins.into_iter()
                     .map(|b| SpectrumBin {
                         energy: Energy::from_mev(b.representative),
                         lo: Energy::from_mev(b.lo),
                         hi: Energy::from_mev(b.hi),
-                        integral_flux: spectrum.integral_flux(
-                            Energy::from_mev(b.lo),
-                            Energy::from_mev(b.hi),
-                        ),
+                        integral_flux: spectrum
+                            .integral_flux(Energy::from_mev(b.lo), Energy::from_mev(b.hi)),
                     })
                     .collect()
             }
@@ -284,8 +278,8 @@ impl SerPipeline {
     ) -> Vec<(Energy, ArrayPofEstimate)> {
         let array = self.build_array();
         let traversal = self.traversal();
-        let lut = (self.config.deposit == DepositMode::LutMean)
-            .then(|| self.build_ehp_lut(particle));
+        let lut =
+            (self.config.deposit == DepositMode::LutMean).then(|| self.build_ehp_lut(particle));
         let sim = StrikeSimulator::new(
             &array,
             traversal,
@@ -323,17 +317,12 @@ impl SerPipeline {
 
     /// Full pipeline reusing a prebuilt POF table (`vdd` must match the
     /// table's characterization voltage).
-    pub fn run_with_table(
-        &self,
-        particle: Particle,
-        vdd: Voltage,
-        table: &PofTable,
-    ) -> SerReport {
+    pub fn run_with_table(&self, particle: Particle, vdd: Voltage, table: &PofTable) -> SerReport {
         let bins = self.energy_bins(particle);
         let array = self.build_array();
         let traversal = self.traversal();
-        let lut = (self.config.deposit == DepositMode::LutMean)
-            .then(|| self.build_ehp_lut(particle));
+        let lut =
+            (self.config.deposit == DepositMode::LutMean).then(|| self.build_ehp_lut(particle));
         let sim = StrikeSimulator::new(
             &array,
             traversal,
@@ -411,8 +400,10 @@ mod tests {
         let report = p.run(Particle::Alpha, Voltage::from_volts(0.8)).unwrap();
         assert!(report.fit_total.is_finite() && report.fit_total >= 0.0);
         assert!(report.fit_seu <= report.fit_total + 1e-9);
-        assert!((report.fit_seu + report.fit_mbu - report.fit_total).abs()
-            <= 1e-6 * report.fit_total.max(1.0));
+        assert!(
+            (report.fit_seu + report.fit_mbu - report.fit_total).abs()
+                <= 1e-6 * report.fit_total.max(1.0)
+        );
         assert_eq!(report.bins.len(), 5);
         assert!(report.mbu_to_seu_percent() >= 0.0);
     }
@@ -428,10 +419,7 @@ mod tests {
             .unwrap();
         let low = res[0].1.total.mean();
         let high = res[1].1.total.mean();
-        assert!(
-            low > high,
-            "POF should fall with energy: {low} vs {high}"
-        );
+        assert!(low > high, "POF should fall with energy: {low} vs {high}");
     }
 
     #[test]

@@ -97,8 +97,7 @@ impl VddSweep {
     pub fn proton_to_alpha_steepness(&self) -> f64 {
         let first = &self.points[0];
         let last = &self.points[self.points.len() - 1];
-        let proton_fall =
-            first.proton.fit_total / last.proton.fit_total.max(f64::MIN_POSITIVE);
+        let proton_fall = first.proton.fit_total / last.proton.fit_total.max(f64::MIN_POSITIVE);
         let alpha_fall = first.alpha.fit_total / last.alpha.fit_total.max(f64::MIN_POSITIVE);
         proton_fall / alpha_fall.max(f64::MIN_POSITIVE)
     }

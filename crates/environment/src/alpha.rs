@@ -11,7 +11,6 @@ use crate::Spectrum;
 use finrad_numerics::interp::LinearTable;
 use finrad_numerics::quadrature::trapezoid;
 use finrad_units::{Energy, Flux, Particle};
-use serde::{Deserialize, Serialize};
 
 /// Terrestrial alpha-particle emission spectrum, normalized to a total
 /// emission rate.
@@ -27,7 +26,8 @@ use serde::{Deserialize, Serialize};
 /// let tail = a.differential(Energy::from_mev(9.5));
 /// assert!(peak > tail);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AlphaSpectrum {
     /// Normalized spectral density over [0.1, 10] MeV, 1/(m²·s·MeV).
     density: LinearTable,
@@ -42,9 +42,7 @@ pub struct AlphaSpectrum {
 /// 8.78 MeV (²¹²Po) — broadened by emission-depth degradation into the
 /// smooth envelope seen in the figure: rising through 2–6 MeV, dipping,
 /// then a secondary bump near 8.8 MeV.
-const SHAPE_MEV: [f64; 12] = [
-    0.1, 1.0, 2.0, 3.0, 4.2, 5.0, 5.5, 6.1, 7.0, 8.0, 8.8, 10.0,
-];
+const SHAPE_MEV: [f64; 12] = [0.1, 1.0, 2.0, 3.0, 4.2, 5.0, 5.5, 6.1, 7.0, 8.0, 8.8, 10.0];
 const SHAPE_REL: [f64; 12] = [
     2.0, 3.0, 4.5, 6.5, 10.0, 12.0, 14.0, 11.0, 6.0, 4.0, 5.0, 2.0,
 ];

@@ -26,6 +26,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod alpha;
@@ -102,10 +103,7 @@ pub trait Spectrum {
                 energy: Energy::from_mev(b.representative),
                 lo: Energy::from_mev(b.lo),
                 hi: Energy::from_mev(b.hi),
-                integral_flux: self.integral_flux(
-                    Energy::from_mev(b.lo),
-                    Energy::from_mev(b.hi),
-                ),
+                integral_flux: self.integral_flux(Energy::from_mev(b.lo), Energy::from_mev(b.hi)),
             })
             .collect()
     }

@@ -11,7 +11,6 @@
 use crate::Spectrum;
 use finrad_numerics::interp::LogLogTable;
 use finrad_units::{Energy, Particle};
-use serde::{Deserialize, Serialize};
 
 /// Sea-level neutron differential flux (1–1000 MeV band).
 ///
@@ -26,7 +25,8 @@ use serde::{Deserialize, Serialize};
 /// let above_10 = n.integral_flux(Energy::from_mev(10.0), Energy::from_mev(1000.0));
 /// assert!((above_10.per_cm2_hour() - 13.0).abs() < 4.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NeutronSpectrum {
     /// Overall scale (1.0 = NYC sea level; ~10–300× at flight altitudes).
     scale: f64,

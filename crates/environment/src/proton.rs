@@ -11,7 +11,6 @@
 use crate::Spectrum;
 use finrad_numerics::interp::LogLogTable;
 use finrad_units::{Energy, Particle};
-use serde::{Deserialize, Serialize};
 
 /// Effective solid angle for converting an isotropic-in-the-upper-hemisphere
 /// intensity (per steradian) into a flux through a horizontal plane:
@@ -30,7 +29,8 @@ const COSINE_WEIGHTED_SOLID_ANGLE_SR: f64 = std::f64::consts::PI;
 /// // Monotonically decreasing with energy.
 /// assert!(p.differential(Energy::from_mev(1.0)) > p.differential(Energy::from_mev(100.0)));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProtonSpectrum {
     /// Intensity table in 1/(m²·s·sr·MeV) vs energy in MeV.
     intensity: LogLogTable,
@@ -46,8 +46,7 @@ impl ProtonSpectrum {
     /// (spectral index ≈ −2.7) up to 10 TeV.
     pub fn sea_level() -> Self {
         let energies_mev = vec![
-            1.0e-1, 1.0, 3.0, 1.0e1, 3.0e1, 1.0e2, 3.0e2, 1.0e3, 3.0e3, 1.0e4, 1.0e5, 1.0e6,
-            1.0e7,
+            1.0e-1, 1.0, 3.0, 1.0e1, 3.0e1, 1.0e2, 3.0e2, 1.0e3, 3.0e3, 1.0e4, 1.0e5, 1.0e6, 1.0e7,
         ];
         let intensity = vec![
             1.5e-2, 1.0e-2, 6.0e-3, 3.0e-3, 1.2e-3, 3.0e-4, 5.0e-5, 4.0e-6, 4.0e-7, 2.0e-8,
@@ -73,7 +72,10 @@ impl ProtonSpectrum {
             "scale factor must be positive"
         );
         let xs: Vec<f64> = finrad_numerics::interp::log_space(self.lo_mev, self.hi_mev, 64);
-        let ys: Vec<f64> = xs.iter().map(|&e| self.intensity.eval(e) * factor).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&e| self.intensity.eval(e) * factor)
+            .collect();
         Self {
             intensity: LogLogTable::new(xs, ys).expect("scaled table well-formed"),
             lo_mev: self.lo_mev,
@@ -126,7 +128,12 @@ mod tests {
         for w in es.windows(2) {
             let a = p.differential(Energy::from_mev(w[0]));
             let b = p.differential(Energy::from_mev(w[1]));
-            assert!(a >= b, "spectrum must fall with energy: {} -> {}", w[0], w[1]);
+            assert!(
+                a >= b,
+                "spectrum must fall with energy: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -18,6 +18,7 @@
 //!   (the paper's process-variation axis).
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod model;

@@ -1,7 +1,6 @@
 //! Technology parameters for the 14 nm SOI FinFET node.
 
 use finrad_units::{Length, Voltage};
-use serde::{Deserialize, Serialize};
 
 /// A FinFET technology node description.
 ///
@@ -19,7 +18,8 @@ use serde::{Deserialize, Serialize};
 /// assert!((tech.w_eff_per_fin().nanometers() - 68.0).abs() < 1e-9);
 /// assert!(tech.vdd_nominal.volts() > 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Technology {
     /// Human-readable node name.
     pub name: String,
@@ -158,13 +158,5 @@ mod tests {
     #[should_panic(expected = "at least one fin")]
     fn sigma_rejects_zero_fins() {
         let _ = Technology::soi_finfet_14nm().sigma_vth(0);
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let t = Technology::soi_finfet_14nm();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Technology = serde_json::from_str(&json).unwrap();
-        assert_eq!(t, back);
     }
 }

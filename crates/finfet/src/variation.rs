@@ -7,9 +7,8 @@
 //! σ follows Pelgrom area scaling, `σ_Vth = A_Vt/√(W_eff·L)`.
 
 use crate::technology::Technology;
+use finrad_numerics::rng::Rng;
 use finrad_units::Voltage;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Threshold-variation model bound to a technology.
 ///
@@ -17,15 +16,16 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use finrad_finfet::{Technology, VariationModel};
-/// use rand::SeedableRng;
+/// use finrad_numerics::rng::Xoshiro256pp;
 ///
 /// let tech = Technology::soi_finfet_14nm();
 /// let var = VariationModel::pelgrom(&tech);
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let mut rng = Xoshiro256pp::seed_from_u64(3);
 /// let d = var.sample_delta_vth(1, &mut rng);
 /// assert!(d.volts().abs() < 0.5); // a few sigma at most
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VariationModel {
     sigma_one_fin: Voltage,
     /// Global scale knob (1.0 = nominal technology corner).
@@ -81,21 +81,19 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use finrad_numerics::rng::Xoshiro256pp;
 
     #[test]
     fn sample_statistics_match_sigma() {
         let tech = Technology::soi_finfet_14nm();
         let var = VariationModel::pelgrom(&tech);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let n = 50_000;
         let samples: Vec<f64> = (0..n)
             .map(|_| var.sample_delta_vth(1, &mut rng).volts())
             .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var_est =
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let var_est = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         let sigma_expect = var.sigma_vth(1).volts();
         assert!(mean.abs() < 0.002, "mean {mean}");
         assert!(
@@ -110,7 +108,7 @@ mod tests {
     fn scale_zero_is_deterministic() {
         let tech = Technology::soi_finfet_14nm();
         let var = VariationModel::pelgrom(&tech).with_scale(0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         for _ in 0..10 {
             assert_eq!(var.sample_delta_vth(1, &mut rng).volts(), 0.0);
         }

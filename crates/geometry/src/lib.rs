@@ -26,17 +26,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod sampling;
 pub mod trace;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// A 3-D vector. Coordinates are metres when used as a position.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vec3 {
     /// X component.
     pub x: f64,
@@ -174,7 +175,8 @@ impl fmt::Display for Vec3 {
 }
 
 /// A half-infinite ray: origin plus unit direction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ray {
     origin: Vec3,
     direction: Vec3,
@@ -187,7 +189,10 @@ impl Ray {
     ///
     /// Panics if `direction` has (near-)zero length or is non-finite.
     pub fn new(origin: Vec3, direction: Vec3) -> Self {
-        assert!(origin.is_finite() && direction.is_finite(), "non-finite ray");
+        assert!(
+            origin.is_finite() && direction.is_finite(),
+            "non-finite ray"
+        );
         Self {
             origin,
             direction: direction.normalized(),
@@ -235,7 +240,8 @@ impl RayHit {
 /// Fins, gates, cells and the array envelope are all axis-aligned in a
 /// standard-cell SRAM layout, so AABBs are an exact representation, not an
 /// approximation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Aabb {
     min: Vec3,
     max: Vec3,
@@ -423,7 +429,10 @@ mod tests {
     #[test]
     fn axis_aligned_crossing_chord() {
         let hit = unit_box()
-            .intersect(&Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0)))
+            .intersect(&Ray::new(
+                Vec3::new(-1.0, 0.5, 0.5),
+                Vec3::new(1.0, 0.0, 0.0),
+            ))
             .unwrap();
         assert!((hit.t_enter - 1.0).abs() < 1e-14);
         assert!((hit.t_exit - 2.0).abs() < 1e-14);
@@ -443,18 +452,27 @@ mod tests {
     #[test]
     fn miss_returns_none() {
         assert!(unit_box()
-            .intersect(&Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(1.0, 0.0, 0.0)))
+            .intersect(&Ray::new(
+                Vec3::new(-1.0, 2.0, 0.5),
+                Vec3::new(1.0, 0.0, 0.0)
+            ))
             .is_none());
         // Pointing away.
         assert!(unit_box()
-            .intersect(&Ray::new(Vec3::new(-1.0, 0.5, 0.5), Vec3::new(-1.0, 0.0, 0.0)))
+            .intersect(&Ray::new(
+                Vec3::new(-1.0, 0.5, 0.5),
+                Vec3::new(-1.0, 0.0, 0.0)
+            ))
             .is_none());
     }
 
     #[test]
     fn ray_starting_inside_clamps_entry() {
         let hit = unit_box()
-            .intersect(&Ray::new(Vec3::new(0.25, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0)))
+            .intersect(&Ray::new(
+                Vec3::new(0.25, 0.5, 0.5),
+                Vec3::new(1.0, 0.0, 0.0),
+            ))
             .unwrap();
         assert_eq!(hit.t_enter, 0.0);
         assert!((hit.chord_length() - 0.75).abs() < 1e-14);
@@ -464,12 +482,18 @@ mod tests {
     fn parallel_ray_inside_slab() {
         // Parallel to x slabs at y=0.5,z=0.5: crosses full cube in x.
         let hit = unit_box()
-            .intersect(&Ray::new(Vec3::new(0.5, 0.5, -3.0), Vec3::new(0.0, 0.0, 1.0)))
+            .intersect(&Ray::new(
+                Vec3::new(0.5, 0.5, -3.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ))
             .unwrap();
         assert!((hit.chord_length() - 1.0).abs() < 1e-14);
         // Parallel but outside the slab: miss.
         assert!(unit_box()
-            .intersect(&Ray::new(Vec3::new(1.5, 0.5, -3.0), Vec3::new(0.0, 0.0, 1.0)))
+            .intersect(&Ray::new(
+                Vec3::new(1.5, 0.5, -3.0),
+                Vec3::new(0.0, 0.0, 1.0)
+            ))
             .is_none());
     }
 
@@ -517,83 +541,114 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use finrad_numerics::rng::{Rng, Xoshiro256pp};
 
-    fn arb_dir() -> impl Strategy<Value = Vec3> {
-        (
-            -1.0f64..1.0,
-            -1.0f64..1.0,
-            -1.0f64..1.0,
-        )
-            .prop_filter_map("non-degenerate direction", |(x, y, z)| {
-                let v = Vec3::new(x, y, z);
-                (v.norm() > 1e-3).then_some(v)
-            })
-    }
-
-    proptest! {
-        #[test]
-        fn chord_bounded_by_diagonal(
-            ox in -5.0f64..5.0, oy in -5.0f64..5.0, oz in -5.0f64..5.0,
-            dir in arb_dir(),
-        ) {
-            let b = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
-            let ray = Ray::new(Vec3::new(ox, oy, oz), dir);
-            if let Some(hit) = b.intersect(&ray) {
-                prop_assert!(hit.t_exit >= hit.t_enter);
-                prop_assert!(hit.t_enter >= 0.0);
-                prop_assert!(hit.chord_length() <= b.size().norm() + 1e-9);
+    fn rand_dir(rng: &mut Xoshiro256pp) -> Vec3 {
+        loop {
+            let v = Vec3::new(
+                rng.gen_range(-1.0..=1.0),
+                rng.gen_range(-1.0..=1.0),
+                rng.gen_range(-1.0..=1.0),
+            );
+            if v.norm() > 1e-3 {
+                return v;
             }
         }
+    }
 
-        #[test]
-        fn hit_points_lie_on_boundary_or_origin(
-            ox in -5.0f64..-1.5, oy in -0.9f64..0.9, oz in -0.9f64..0.9,
-            dir in arb_dir(),
-        ) {
-            let b = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
-            let ray = Ray::new(Vec3::new(ox, oy, oz), dir);
+    #[test]
+    fn chord_bounded_by_diagonal() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xC0DE);
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+        for _ in 0..500 {
+            let o = Vec3::new(
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+            );
+            let ray = Ray::new(o, rand_dir(&mut rng));
             if let Some(hit) = b.intersect(&ray) {
-                // Entry/exit points must be inside the (slightly inflated) box.
+                assert!(hit.t_exit >= hit.t_enter);
+                assert!(hit.t_enter >= 0.0);
+                assert!(hit.chord_length() <= b.size().norm() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_points_lie_on_boundary_or_origin() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xB0A);
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+        for _ in 0..500 {
+            let o = Vec3::new(
+                rng.gen_range(-5.0..-1.5),
+                rng.gen_range(-0.9..0.9),
+                rng.gen_range(-0.9..0.9),
+            );
+            let ray = Ray::new(o, rand_dir(&mut rng));
+            if let Some(hit) = b.intersect(&ray) {
                 let eps = 1e-9;
                 let big = Aabb::new(
                     b.min_corner() - Vec3::new(eps, eps, eps),
                     b.max_corner() + Vec3::new(eps, eps, eps),
                 );
-                prop_assert!(big.contains(ray.at(hit.t_enter)));
-                prop_assert!(big.contains(ray.at(hit.t_exit)));
+                assert!(big.contains(ray.at(hit.t_enter)));
+                assert!(big.contains(ray.at(hit.t_exit)));
             }
         }
+    }
 
-        #[test]
-        fn containment_implies_hit(
-            px in -0.99f64..0.99, py in -0.99f64..0.99, pz in -0.99f64..0.99,
-            dir in arb_dir(),
-        ) {
-            // A ray starting strictly inside the box always hits it.
-            let b = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
-            let ray = Ray::new(Vec3::new(px, py, pz), dir);
-            prop_assert!(b.intersect(&ray).is_some());
+    #[test]
+    fn containment_implies_hit() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x517E);
+        let b = Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0));
+        for _ in 0..500 {
+            let p = Vec3::new(
+                rng.gen_range(-0.99..0.99),
+                rng.gen_range(-0.99..0.99),
+                rng.gen_range(-0.99..0.99),
+            );
+            let ray = Ray::new(p, rand_dir(&mut rng));
+            assert!(b.intersect(&ray).is_some());
         }
+    }
 
-        #[test]
-        fn normalized_ray_direction(dir in arb_dir()) {
-            let ray = Ray::new(Vec3::ZERO, dir);
-            prop_assert!((ray.direction().norm() - 1.0).abs() < 1e-12);
+    #[test]
+    fn normalized_ray_direction() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xD1);
+        for _ in 0..500 {
+            let ray = Ray::new(Vec3::ZERO, rand_dir(&mut rng));
+            assert!((ray.direction().norm() - 1.0).abs() < 1e-12);
         }
+    }
 
-        #[test]
-        fn union_contains_operands(
-            ax in -3.0f64..3.0, ay in -3.0f64..3.0, az in -3.0f64..3.0,
-            bx in -3.0f64..3.0, by in -3.0f64..3.0, bz in -3.0f64..3.0,
-        ) {
-            let a = Aabb::new(Vec3::ZERO, Vec3::new(ax.abs() + 0.1, ay.abs() + 0.1, az.abs() + 0.1));
-            let b = Aabb::new(Vec3::new(bx, by, bz), Vec3::new(bx + 1.0, by + 1.0, bz + 1.0));
+    #[test]
+    fn union_contains_operands() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x0410);
+        for _ in 0..500 {
+            let (ax, ay, az) = (
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            );
+            let (bx, by, bz) = (
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            );
+            let a = Aabb::new(
+                Vec3::ZERO,
+                Vec3::new(ax.abs() + 0.1, ay.abs() + 0.1, az.abs() + 0.1),
+            );
+            let b = Aabb::new(
+                Vec3::new(bx, by, bz),
+                Vec3::new(bx + 1.0, by + 1.0, bz + 1.0),
+            );
             let u = a.union(&b);
-            prop_assert!(u.contains(a.min_corner()) && u.contains(a.max_corner()));
-            prop_assert!(u.contains(b.min_corner()) && u.contains(b.max_corner()));
+            assert!(u.contains(a.min_corner()) && u.contains(a.max_corner()));
+            assert!(u.contains(b.min_corner()) && u.contains(b.max_corner()));
         }
     }
 }

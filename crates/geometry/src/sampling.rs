@@ -10,15 +10,15 @@
 //!   (intensity ∝ cos θ from the zenith).
 
 use crate::{Aabb, Vec3};
-use rand::Rng;
+use finrad_numerics::rng::Rng;
 
 /// Samples a direction uniformly distributed over the unit sphere.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// use finrad_numerics::rng::Xoshiro256pp;
+/// let mut rng = Xoshiro256pp::seed_from_u64(7);
 /// let d = finrad_geometry::sampling::isotropic_direction(&mut rng);
 /// assert!((d.norm() - 1.0).abs() < 1e-12);
 /// ```
@@ -75,12 +75,11 @@ fn sample_coord<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use finrad_numerics::rng::Xoshiro256pp;
 
     #[test]
     fn isotropic_is_unit_and_covers_both_hemispheres() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let mut up = 0usize;
         let n = 10_000;
         for _ in 0..n {
@@ -97,7 +96,7 @@ mod tests {
 
     #[test]
     fn isotropic_mean_is_near_zero() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let n = 20_000;
         let mut acc = Vec3::ZERO;
         for _ in 0..n {
@@ -109,7 +108,7 @@ mod tests {
 
     #[test]
     fn cosine_law_points_down_with_cos2_mean() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 20_000;
         let mut sum_cos = 0.0;
         for _ in 0..n {
@@ -125,7 +124,7 @@ mod tests {
 
     #[test]
     fn points_in_box_are_contained() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let b = Aabb::new(Vec3::new(-2.0, 1.0, 0.0), Vec3::new(3.0, 4.0, 0.5));
         for _ in 0..1000 {
             assert!(b.contains(point_in_box(&mut rng, &b)));
@@ -134,7 +133,7 @@ mod tests {
 
     #[test]
     fn top_face_points_have_max_z() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0));
         for _ in 0..100 {
             let p = point_on_top_face(&mut rng, &b);
@@ -146,7 +145,7 @@ mod tests {
     #[test]
     fn degenerate_box_sampling() {
         // Zero-thickness box (a plane) must not panic.
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 0.0));
         let p = point_in_box(&mut rng, &b);
         assert_eq!(p.z, 0.0);

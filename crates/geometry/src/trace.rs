@@ -53,16 +53,14 @@ pub fn trace_boxes(ray: &Ray, boxes: &[Aabb]) -> Vec<Crossing> {
         .iter()
         .enumerate()
         .filter_map(|(index, b)| {
-            b.intersect(ray).and_then(|hit| {
-                (hit.chord_length() > 0.0).then_some(Crossing { index, hit })
-            })
+            b.intersect(ray)
+                .and_then(|hit| (hit.chord_length() > 0.0).then_some(Crossing { index, hit }))
         })
         .collect();
     crossings.sort_by(|a, b| {
         a.hit
             .t_enter
-            .partial_cmp(&b.hit.t_enter)
-            .expect("finite entry parameters")
+            .total_cmp(&b.hit.t_enter)
             .then(a.index.cmp(&b.index))
     });
     crossings

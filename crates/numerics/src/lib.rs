@@ -14,6 +14,8 @@
 //!   confidence intervals for Monte-Carlo estimates.
 //! * [`roots`] — bisection root bracketing/refinement, used for
 //!   critical-charge extraction.
+//! * [`rng`] — seeded-only pseudo-random number generation (SplitMix64 and
+//!   xoshiro256++) for deterministic, reproducible Monte-Carlo sampling.
 //!
 //! # Examples
 //!
@@ -26,11 +28,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod interp;
 pub mod matrix;
 pub mod quadrature;
+pub mod rng;
 pub mod roots;
 pub mod special;
 pub mod stats;

@@ -5,7 +5,6 @@
 //! sparse machinery is warranted.
 
 use crate::NumericsError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -22,7 +21,8 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(a[(0, 0)], 2.0);
 /// assert_eq!(a.rows(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -218,6 +218,8 @@ impl LuFactors {
             for r in (k + 1)..n {
                 let factor = a[(r, k)] / pivot;
                 a[(r, k)] = factor;
+                // Exact-zero skip exploits structural sparsity; a tolerance would
+                // change the factorization. finrad-lint: allow(float-discipline)
                 if factor != 0.0 {
                     for c in (k + 1)..n {
                         let akc = a[(k, c)];
@@ -336,7 +338,9 @@ mod tests {
         let n = 12;
         let mut state = 0x2545F491_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let mut a = Matrix::zeros(n, n);

@@ -1,0 +1,309 @@
+//! Seeded-only pseudo-random number generation for Monte-Carlo kernels.
+//!
+//! The workspace policy (see `docs/static-analysis.md`, lint
+//! `rng-determinism`) is that **every** stochastic computation is driven by
+//! an explicitly seeded generator so that two runs with the same seed are
+//! bit-identical. This module therefore deliberately offers *no*
+//! entropy-based constructor — there is no `thread_rng()`, no
+//! `from_entropy()`, and no `SystemTime` fallback. Callers must thread a
+//! seed (or a `&mut impl Rng`) through their public API.
+//!
+//! Two small, well-studied generators are provided:
+//!
+//! * [`SplitMix64`] — a 64-bit mixing generator, used to expand a single
+//!   `u64` seed into the 256-bit state of the main generator and to derive
+//!   decorrelated per-worker streams.
+//! * [`Xoshiro256pp`] — xoshiro256++ 1.0 (Blackman & Vigna), the default
+//!   generator for all Monte-Carlo sampling in the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use finrad_numerics::rng::{Rng, Xoshiro256pp};
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(42);
+//! let u = rng.next_f64();
+//! assert!((0.0..1.0).contains(&u));
+//! let x = rng.gen_range(-1.0..=1.0);
+//! assert!((-1.0..=1.0).contains(&x));
+//!
+//! // Same seed, same stream — bit identical.
+//! let a: Vec<u64> = (0..4).map(|_| Xoshiro256pp::seed_from_u64(7).next_u64()).collect();
+//! let b: Vec<u64> = (0..4).map(|_| Xoshiro256pp::seed_from_u64(7).next_u64()).collect();
+//! assert_eq!(a, b);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic, explicitly seeded pseudo-random number generator.
+///
+/// Only [`Self::next_u64`] is required; the floating-point helpers are
+/// derived from it, so every implementor produces identical `f64` streams
+/// for identical `u64` streams.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits of
+    /// [`Self::next_u64`] (the standard 2⁻⁵³ ladder).
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits; (x >> 11) in [0, 2^53).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` drawn from `range`.
+    ///
+    /// Accepts `lo..hi` (half-open) and `lo..=hi` (closed); see
+    /// [`UniformRange`].
+    #[inline]
+    fn gen_range<B: UniformRange>(&mut self, range: B) -> f64 {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range of `f64` that a uniform sample can be drawn from.
+pub trait UniformRange {
+    /// Draws one uniform sample from `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64;
+}
+
+impl UniformRange for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        debug_assert!(
+            self.start < self.end,
+            "gen_range requires start < end, got {}..{}",
+            self.start,
+            self.end
+        );
+        let u = rng.next_f64();
+        // u < 1 keeps the result strictly below `end` for finite spans.
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl UniformRange for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        debug_assert!(lo <= hi, "gen_range requires lo <= hi, got {lo}..={hi}");
+        // Map the 53-bit ladder onto [lo, hi] inclusively by scaling with
+        // the closed-interval divisor.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+/// SplitMix64 (Steele, Lea & Flood) — a tiny 64-bit generator whose main
+/// job here is seed expansion: it decorrelates consecutive integer seeds so
+/// that `seed`, `seed + 1`, … give unrelated [`Xoshiro256pp`] streams.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_numerics::rng::{Rng, SplitMix64};
+///
+/// let mut a = SplitMix64::new(1);
+/// let mut b = SplitMix64::new(2);
+/// assert_ne!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Any seed (including 0) is
+    /// valid.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019) — the workspace's default
+/// Monte-Carlo generator: 256-bit state, period 2²⁵⁶ − 1, passes BigCrush,
+/// and is a few instructions per draw.
+///
+/// Construction is seeded-only, via [`Xoshiro256pp::seed_from_u64`] or
+/// [`Xoshiro256pp::from_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expands a 64-bit seed into the full 256-bit state with
+    /// [`SplitMix64`], per the xoshiro authors' recommendation.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let s = [
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+        ];
+        Self::from_state(s)
+    }
+
+    /// Builds a generator from an explicit 256-bit state. An all-zero
+    /// state is invalid for xoshiro and is replaced by the expansion of
+    /// seed 0.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        Self { s }
+    }
+
+    /// Derives a decorrelated stream for worker `index`, for splitting one
+    /// user-facing seed across deterministic parallel workers.
+    pub fn stream(seed: u64, index: u64) -> Self {
+        // Feed both words through SplitMix64 so that (seed, index) pairs
+        // never collide with plain consecutive seeds.
+        let mut mix = SplitMix64::new(seed);
+        let base = mix.next_u64();
+        Self::seed_from_u64(base ^ SplitMix64::new(index.wrapping_add(1)).next_u64())
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference sequence for seed 1234567 from the public-domain
+        // splitmix64.c implementation.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ with state {1, 2, 3, 4}: reference values from the
+        // public-domain xoshiro256plusplus.c implementation.
+        let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256pp::seed_from_u64(99);
+        let mut b = Xoshiro256pp::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval_and_uniformish() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        for _ in 0..5_000 {
+            let x = rng.gen_range(3.0..5.0);
+            assert!((3.0..5.0).contains(&x));
+            let y = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn zero_state_is_rejected() {
+        let mut rng = Xoshiro256pp::from_state([0; 4]);
+        // Must not get stuck at zero.
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let mut a = Xoshiro256pp::stream(42, 0);
+        let mut b = Xoshiro256pp::stream(42, 1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn works_through_mut_reference() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0f64..1.0)
+        }
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let by_ref = draw(&mut rng);
+        assert!((0.0..1.0).contains(&by_ref));
+        // &mut R itself implements Rng.
+        let mut r2 = Xoshiro256pp::seed_from_u64(3);
+        let mut borrowed = &mut r2;
+        let _ = draw(&mut borrowed);
+    }
+}

@@ -47,6 +47,8 @@ pub fn bisect(
     let (mut a, mut b) = (lo, hi);
     let mut fa = f(a);
     let fb = f(b);
+    // Exact-zero endpoint hits are meaningful sentinels, not comparisons.
+    // finrad-lint: allow(float-discipline)
     if fa == 0.0 {
         return Ok(Root {
             x: a,
@@ -54,6 +56,7 @@ pub fn bisect(
             iterations: 0,
         });
     }
+    // finrad-lint: allow(float-discipline)
     if fb == 0.0 {
         return Ok(Root {
             x: b,
@@ -69,6 +72,7 @@ pub fn bisect(
         let mid = 0.5 * (a + b);
         let fm = f(mid);
         iterations += 1;
+        // finrad-lint: allow(float-discipline)
         if fm == 0.0 {
             return Ok(Root {
                 x: mid,

@@ -6,8 +6,6 @@
 //! Welford's numerically stable single-pass mean/variance update and
 //! supports merging partial accumulators from worker threads.
 
-use serde::{Deserialize, Serialize};
-
 /// Single-pass mean/variance accumulator (Welford), mergeable across threads.
 ///
 /// # Examples
@@ -23,7 +21,8 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 2.5).abs() < 1e-12);
 /// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -160,7 +159,8 @@ impl FromIterator<f64> for RunningStats {
 /// let (lo, hi) = c.wilson_ci95();
 /// assert!(lo < 0.25 && 0.25 < hi);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BernoulliCounter {
     successes: u64,
     trials: u64,
@@ -317,17 +317,18 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, Xoshiro256pp};
 
-    proptest! {
-        #[test]
-        fn merge_is_order_independent(
-            xs in proptest::collection::vec(-1.0e3f64..1.0e3, 1..100),
-            split in 0usize..100,
-        ) {
-            let split = split.min(xs.len());
+    #[test]
+    fn merge_is_order_independent() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x57A7);
+        for _ in 0..200 {
+            let n = 1 + (rng.next_u64() % 99) as usize;
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0e3..1.0e3)).collect();
+            let split = (rng.next_u64() as usize % 100).min(xs.len());
+
             let mut ab: RunningStats = xs[..split].iter().copied().collect();
             let b: RunningStats = xs[split..].iter().copied().collect();
             ab.merge(&b);
@@ -336,27 +337,41 @@ mod proptests {
             let a: RunningStats = xs[..split].iter().copied().collect();
             ba.merge(&a);
 
-            prop_assert_eq!(ab.count(), ba.count());
-            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
-            prop_assert!((ab.sample_variance() - ba.sample_variance()).abs() < 1e-6);
+            assert_eq!(ab.count(), ba.count());
+            assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+            assert!((ab.sample_variance() - ba.sample_variance()).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn variance_nonnegative(xs in proptest::collection::vec(-1.0e6f64..1.0e6, 0..200)) {
+    #[test]
+    fn variance_nonnegative() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x7A2);
+        for _ in 0..200 {
+            let n = (rng.next_u64() % 200) as usize;
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0e6..1.0e6)).collect();
             let s: RunningStats = xs.iter().copied().collect();
-            prop_assert!(s.sample_variance() >= 0.0);
+            assert!(s.sample_variance() >= 0.0);
         }
+    }
 
-        #[test]
-        fn proportion_in_unit_interval(hits in 0u32..200, misses in 0u32..200) {
+    #[test]
+    fn proportion_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xBE2);
+        for _ in 0..200 {
+            let hits = rng.next_u64() % 200;
+            let misses = rng.next_u64() % 200;
             let mut c = BernoulliCounter::new();
-            for _ in 0..hits { c.record(true); }
-            for _ in 0..misses { c.record(false); }
+            for _ in 0..hits {
+                c.record(true);
+            }
+            for _ in 0..misses {
+                c.record(false);
+            }
             let p = c.proportion();
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
             let (lo, hi) = c.wilson_ci95();
-            prop_assert!(lo <= hi);
-            prop_assert!(lo >= 0.0 && hi <= 1.0);
+            assert!(lo <= hi);
+            assert!(lo >= 0.0 && hi <= 1.0);
         }
     }
 }

@@ -56,6 +56,10 @@ pub struct OpPoint {
 
 impl OpPoint {
     /// Voltage of `node` (ground returns 0).
+    ///
+    /// Deliberately bare `f64`: the MNA engine works in the raw node-vector
+    /// space (volts, SI) like any SPICE core; the typed boundary is the
+    /// SRAM layer above. finrad-lint: allow(unit-safety)
     pub fn voltage(&self, node: NodeId) -> f64 {
         self.node_voltages[node.index()]
     }
@@ -168,11 +172,7 @@ impl<'c> Assembler<'c> {
         // MOSFETs: linearized drain current with RHS correction so that the
         // solution of the linear system is the Newton update.
         for m in &self.ckt.mosfets {
-            let (vg, vd, vs) = (
-                v[m.gate.index()],
-                v[m.drain.index()],
-                v[m.source.index()],
-            );
+            let (vg, vd, vs) = (v[m.gate.index()], v[m.drain.index()], v[m.source.index()]);
             let ss = m.device.evaluate(vg, vd, vs);
             // i_d(v) ≈ ss.id + gg·(vg'-vg) + gd·(vd'-vd) + gs·(vs'-vs)
             //        = [gg·vg' + gd·vd' + gs·vs'] + i_rhs
@@ -271,7 +271,14 @@ fn advance_step(
     opts: &NewtonOptions,
     depth: u32,
 ) -> Result<Vec<f64>, SpiceError> {
-    match asm.newton(&v, Some((dt, &v)), t + dt, opts, opts.gmin, "transient step") {
+    match asm.newton(
+        &v,
+        Some((dt, &v)),
+        t + dt,
+        opts,
+        opts.gmin,
+        "transient step",
+    ) {
         Ok((vn, _branch)) => Ok(vn),
         Err(e) => {
             if depth >= opts.max_step_halvings {
@@ -493,6 +500,7 @@ mod tests {
     use super::*;
     use crate::source::SourceWaveform;
     use finrad_finfet::{FinFet, Polarity, Technology};
+    use finrad_units::Charge;
 
     fn opts() -> NewtonOptions {
         NewtonOptions::default()
@@ -603,7 +611,7 @@ mod tests {
         ckt.add_isource(
             Circuit::GROUND,
             n,
-            SourceWaveform::rectangular_charge(q, 1.0e-14, 1.0e-14),
+            SourceWaveform::rectangular_charge(Charge::from_coulombs(q), 1.0e-14, 1.0e-14),
         );
         let plan = TimeStepPlan::new(vec![Phase {
             duration: 5.0e-14,
@@ -641,9 +649,7 @@ mod tests {
         for trial in 0..20 {
             let n_nodes = 3 + (trial % 5);
             let mut ckt = Circuit::new();
-            let nodes: Vec<_> = (0..n_nodes)
-                .map(|i| ckt.node(&format!("n{i}")))
-                .collect();
+            let nodes: Vec<_> = (0..n_nodes).map(|i| ckt.node(&format!("n{i}"))).collect();
             ckt.add_vsource(nodes[0], Circuit::GROUND, 1.0 + next());
             // Chain guaranteeing connectivity, plus random extra edges.
             let mut edges = Vec::new();
@@ -733,7 +739,7 @@ mod tests {
         ckt.add_isource(
             Circuit::GROUND,
             top,
-            SourceWaveform::rectangular_charge(q, 0.0, 1.0e-14),
+            SourceWaveform::rectangular_charge(Charge::from_coulombs(q), 0.0, 1.0e-14),
         );
         let plan = TimeStepPlan::new(vec![Phase {
             duration: 1.2e-14,

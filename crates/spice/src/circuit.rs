@@ -152,7 +152,10 @@ impl Circuit {
     ///
     /// Panics if `ohms` is not strictly positive and finite.
     pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
         self.resistors.push(Resistor {
             a,
             b,

@@ -5,10 +5,11 @@
 //! Section 4 additionally studies triangular pulses to show POF depends
 //! only on the pulse *charge*. Both shapes are provided here.
 
-use serde::{Deserialize, Serialize};
+use finrad_units::Charge;
 
 /// Shape of a current pulse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PulseShape {
     /// Constant amplitude over the pulse width (the paper's Fig. 3(b)).
     #[default]
@@ -19,7 +20,8 @@ pub enum PulseShape {
 }
 
 /// A time-dependent scalar waveform for current sources.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SourceWaveform {
     /// Constant value.
     Dc(f64),
@@ -37,16 +39,16 @@ pub enum SourceWaveform {
 }
 
 impl SourceWaveform {
-    /// A rectangular pulse carrying `charge` coulombs over `width` seconds,
-    /// starting at `t_start`.
+    /// A rectangular pulse carrying `charge` over `width` seconds, starting
+    /// at `t_start`.
     ///
     /// # Panics
     ///
     /// Panics if `width` is not strictly positive.
-    pub fn rectangular_charge(charge: f64, t_start: f64, width: f64) -> Self {
+    pub fn rectangular_charge(charge: Charge, t_start: f64, width: f64) -> Self {
         assert!(width > 0.0, "pulse width must be positive");
         SourceWaveform::Pulse {
-            amplitude: charge / width,
+            amplitude: charge.coulombs() / width,
             t_start,
             width,
             shape: PulseShape::Rectangular,
@@ -59,10 +61,10 @@ impl SourceWaveform {
     /// # Panics
     ///
     /// Panics if `width` is not strictly positive.
-    pub fn triangular_charge(charge: f64, t_start: f64, width: f64) -> Self {
+    pub fn triangular_charge(charge: Charge, t_start: f64, width: f64) -> Self {
         assert!(width > 0.0, "pulse width must be positive");
         SourceWaveform::Pulse {
-            amplitude: 2.0 * charge / width,
+            amplitude: 2.0 * charge.coulombs() / width,
             t_start,
             width,
             shape: PulseShape::Triangular,
@@ -136,7 +138,8 @@ mod tests {
 
     #[test]
     fn rectangular_values() {
-        let w = SourceWaveform::rectangular_charge(1.0e-15, 1.0e-12, 10.0e-15);
+        let w =
+            SourceWaveform::rectangular_charge(Charge::from_coulombs(1.0e-15), 1.0e-12, 10.0e-15);
         assert_eq!(w.value(0.0), 0.0);
         assert!((w.value(1.005e-12) - 1.0e-15 / 10.0e-15).abs() < 1e-9);
         assert_eq!(w.value(2.0e-12), 0.0);
@@ -144,7 +147,7 @@ mod tests {
 
     #[test]
     fn triangular_peak_at_midpoint() {
-        let w = SourceWaveform::triangular_charge(1.0e-15, 0.0, 10.0e-15);
+        let w = SourceWaveform::triangular_charge(Charge::from_coulombs(1.0e-15), 0.0, 10.0e-15);
         let peak = 2.0 * 1.0e-15 / 10.0e-15;
         assert!((w.value(5.0e-15) - peak).abs() < 1e-12);
         assert!((w.value(2.5e-15) - peak / 2.0).abs() < 1e-12);
@@ -154,8 +157,8 @@ mod tests {
     #[test]
     fn equal_charge_construction() {
         let q = 3.0e-16;
-        let rect = SourceWaveform::rectangular_charge(q, 0.0, 15.0e-15);
-        let tri = SourceWaveform::triangular_charge(q, 0.0, 15.0e-15);
+        let rect = SourceWaveform::rectangular_charge(Charge::from_coulombs(q), 0.0, 15.0e-15);
+        let tri = SourceWaveform::triangular_charge(Charge::from_coulombs(q), 0.0, 15.0e-15);
         let horizon = 1.0e-12;
         assert!((rect.charge_over(horizon) - q).abs() / q < 1e-12);
         assert!((tri.charge_over(horizon) - q).abs() / q < 1e-12);
@@ -164,9 +167,9 @@ mod tests {
     #[test]
     fn truncated_charge() {
         let q = 1.0e-15;
-        let rect = SourceWaveform::rectangular_charge(q, 0.0, 10.0e-15);
+        let rect = SourceWaveform::rectangular_charge(Charge::from_coulombs(q), 0.0, 10.0e-15);
         assert!((rect.charge_over(5.0e-15) - q / 2.0).abs() / q < 1e-12);
-        let tri = SourceWaveform::triangular_charge(q, 0.0, 10.0e-15);
+        let tri = SourceWaveform::triangular_charge(Charge::from_coulombs(q), 0.0, 10.0e-15);
         assert!((tri.charge_over(5.0e-15) - q / 2.0).abs() / q < 1e-12);
     }
 
@@ -181,12 +184,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "width must be positive")]
     fn rejects_zero_width() {
-        let _ = SourceWaveform::rectangular_charge(1.0, 0.0, 0.0);
+        let _ = SourceWaveform::rectangular_charge(Charge::from_coulombs(1.0), 0.0, 0.0);
     }
 
     #[test]
     fn numeric_integral_matches_analytic() {
-        let tri = SourceWaveform::triangular_charge(7.0e-16, 2.0e-15, 12.0e-15);
+        let tri =
+            SourceWaveform::triangular_charge(Charge::from_coulombs(7.0e-16), 2.0e-15, 12.0e-15);
         let n = 40_000;
         let h = 2.0e-14 / n as f64;
         let num: f64 = (0..n).map(|i| tri.value(h * (i as f64 + 0.5)) * h).sum();

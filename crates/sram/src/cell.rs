@@ -10,14 +10,14 @@
 use finrad_finfet::{FinFet, Polarity, Technology};
 use finrad_spice::{Circuit, MosfetId, NodeId};
 use finrad_units::Voltage;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// One of the six transistors of the cell, by position.
 ///
 /// "Left" is the side whose internal node is `Q`, "right" the `QB` side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TransistorRole {
     /// Left pull-down NMOS (drain on Q, gate on QB).
     PullDownLeft,
@@ -80,7 +80,8 @@ impl fmt::Display for TransistorRole {
 }
 
 /// The stored logic value of the cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CellState {
     /// `Q = 0`, `QB = V_dd`.
     Zero,
@@ -373,8 +374,7 @@ mod tests {
         let cell = cell();
         let opts = NewtonOptions::default();
         let guess = cell.initial_conditions(CellState::One);
-        let op =
-            analysis::dc_operating_point_from(cell.circuit(), &opts, &guess).unwrap();
+        let op = analysis::dc_operating_point_from(cell.circuit(), &opts, &guess).unwrap();
         assert!(op.voltage(cell.q()) > 0.7);
         assert!(op.voltage(cell.qb()) < 0.1);
     }

@@ -12,11 +12,10 @@ use crate::cell::{CellState, SramCell, TransistorRole};
 use crate::pof::{PofCurve, PofTable, StrikeCombo};
 use crate::scenario::StrikeEvent;
 use finrad_finfet::{Technology, VariationModel};
+use finrad_numerics::rng::{Rng, Xoshiro256pp};
 use finrad_spice::analysis::{self, NewtonOptions, TimeStepPlan};
 use finrad_spice::{PulseShape, SpiceError};
 use finrad_units::{Charge, Voltage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 
 /// Whether (and how) process variation enters the characterization.
@@ -271,34 +270,34 @@ impl CellCharacterizer {
                     .unwrap_or(1)
                     .min(samples);
                 let chunk = samples.div_ceil(n_threads);
-                let results: Vec<Result<Vec<f64>, SpiceError>> =
-                    crossbeam::thread::scope(|scope| {
-                        let mut handles = Vec::new();
-                        for t in 0..n_threads {
-                            let start = t * chunk;
-                            let end = ((t + 1) * chunk).min(samples);
-                            if start >= end {
-                                break;
-                            }
-                            let var = &var;
-                            let this = &self;
-                            handles.push(scope.spawn(move |_| {
-                                let mut out = Vec::with_capacity(end - start);
-                                for i in start..end {
-                                    let mut rng =
-                                        StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(
-                                            0x9E37_79B9_7F4A_7C15,
-                                        ));
-                                    let deltas = this.sample_deltas(var, &mut rng);
-                                    let q = this.critical_charge(vdd, combo, &deltas)?;
-                                    out.push(q.coulombs());
-                                }
-                                Ok(out)
-                            }));
+                let results: Vec<Result<Vec<f64>, SpiceError>> = std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for t in 0..n_threads {
+                        let start = t * chunk;
+                        let end = ((t + 1) * chunk).min(samples);
+                        if start >= end {
+                            break;
                         }
-                        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-                    })
-                    .expect("characterization scope");
+                        let var = &var;
+                        let this = &self;
+                        handles.push(scope.spawn(move || {
+                            let mut out = Vec::with_capacity(end - start);
+                            for i in start..end {
+                                let mut rng = Xoshiro256pp::seed_from_u64(
+                                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                );
+                                let deltas = this.sample_deltas(var, &mut rng);
+                                let q = this.critical_charge(vdd, combo, &deltas)?;
+                                out.push(q.coulombs());
+                            }
+                            Ok(out)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect()
+                });
                 let mut qs = Vec::with_capacity(samples);
                 for r in results {
                     qs.extend(r?);
@@ -377,9 +376,7 @@ mod tests {
         // Moderately above the ~0.15 fC critical charge: flips. (Extreme
         // charges can *restore* the cell through the source-side-on pass
         // gate — see critical_charge — so "huge" is not the right probe.)
-        assert!(ch
-            .flips(vdd, combo, Charge::from_fc(0.25), &none)
-            .unwrap());
+        assert!(ch.flips(vdd, combo, Charge::from_fc(0.25), &none).unwrap());
     }
 
     #[test]

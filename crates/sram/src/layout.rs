@@ -15,7 +15,6 @@ use crate::cell::TransistorRole;
 use finrad_finfet::Technology;
 use finrad_geometry::{Aabb, Vec3};
 use finrad_units::Length;
-use serde::{Deserialize, Serialize};
 
 /// Fin and gate placement of one 6T cell, in cell-local coordinates
 /// (metres; origin at the cell's lower-left corner, z = 0 at the BOX top).
@@ -32,7 +31,8 @@ use serde::{Deserialize, Serialize};
 /// let pd = layout.device_box(TransistorRole::PullDownLeft);
 /// assert!(pd.volume() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CellLayout {
     /// Cell footprint in x (bit-line direction).
     pub width: Length,
@@ -166,7 +166,12 @@ mod tests {
                     a.min_corner().x < b.max_corner().x && b.min_corner().x < a.max_corner().x;
                 let overlap_y =
                     a.min_corner().y < b.max_corner().y && b.min_corner().y < a.max_corner().y;
-                assert!(!(overlap_x && overlap_y), "{:?} overlaps {:?}", boxes[i].0, boxes[j].0);
+                assert!(
+                    !(overlap_x && overlap_y),
+                    "{:?} overlaps {:?}",
+                    boxes[i].0,
+                    boxes[j].0
+                );
             }
         }
     }

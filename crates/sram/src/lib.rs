@@ -18,6 +18,7 @@
 //!   placement of PU/PD/PASS devices, used by the 3-D array analysis.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod cell;

@@ -17,14 +17,15 @@
 
 use crate::cell::{CellState, SramCell, TransistorRole};
 use finrad_spice::{NodeId, SourceWaveform};
-use serde::{Deserialize, Serialize};
+use finrad_units::Charge;
 use std::fmt;
 
 /// Canonical strike injection point, following the paper's Fig. 5(a)
 /// labels (defined for a cell holding `Q = 1`; the mapping for `Q = 0`
 /// uses the mirrored transistors and is handled by
 /// [`StrikeTarget::from_role`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StrikeTarget {
     /// The OFF pull-down on the high node (paper's I1).
     I1,
@@ -112,7 +113,8 @@ impl fmt::Display for StrikeTarget {
 
 /// A concrete strike: charge injected at each target. Used to build the
 /// current sources of one transient simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StrikeEvent {
     /// Charge per struck target, coulombs.
     pub charges: Vec<(StrikeTarget, f64)>,
@@ -133,7 +135,12 @@ impl StrikeEvent {
     /// Panics if `width` is not strictly positive, `charges` is empty, or a
     /// target repeats.
     pub fn rectangular(charges: Vec<(StrikeTarget, f64)>, t_start: f64, width: f64) -> Self {
-        Self::with_shape(charges, t_start, width, finrad_spice::PulseShape::Rectangular)
+        Self::with_shape(
+            charges,
+            t_start,
+            width,
+            finrad_spice::PulseShape::Rectangular,
+        )
     }
 
     /// Builds a strike with an explicit pulse shape.
@@ -168,20 +175,24 @@ impl StrikeEvent {
         for &(target, charge) in &self.charges {
             let (from, to) = target.injection_nodes(cell, state);
             let wf = match self.shape {
-                finrad_spice::PulseShape::Rectangular => {
-                    SourceWaveform::rectangular_charge(charge, self.t_start, self.width)
-                }
-                finrad_spice::PulseShape::Triangular => {
-                    SourceWaveform::triangular_charge(charge, self.t_start, self.width)
-                }
+                finrad_spice::PulseShape::Rectangular => SourceWaveform::rectangular_charge(
+                    Charge::from_coulombs(charge),
+                    self.t_start,
+                    self.width,
+                ),
+                finrad_spice::PulseShape::Triangular => SourceWaveform::triangular_charge(
+                    Charge::from_coulombs(charge),
+                    self.t_start,
+                    self.width,
+                ),
             };
             cell.circuit_mut().add_isource(from, to, wf);
         }
     }
 
-    /// Total injected charge, coulombs.
-    pub fn total_charge(&self) -> f64 {
-        self.charges.iter().map(|(_, q)| q).sum()
+    /// Total injected charge.
+    pub fn total_charge(&self) -> Charge {
+        Charge::from_coulombs(self.charges.iter().map(|(_, q)| q).sum())
     }
 }
 
@@ -266,7 +277,7 @@ mod tests {
             2.0e-15,
             1.3e-14,
         );
-        assert!((ev.total_charge() - 3.0e-16).abs() < 1e-30);
+        assert!((ev.total_charge().coulombs() - 3.0e-16).abs() < 1e-30);
         let mut c = cell();
         ev.inject(&mut c, CellState::One);
         // Two current sources were added.

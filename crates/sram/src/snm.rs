@@ -55,11 +55,8 @@ pub fn inverter_vtc(
         if vin > v / 2.0 {
             guess.insert(cell.q(), 0.0);
         }
-        let op = analysis::dc_operating_point_from(
-            cell.circuit(),
-            &NewtonOptions::default(),
-            &guess,
-        )?;
+        let op =
+            analysis::dc_operating_point_from(cell.circuit(), &NewtonOptions::default(), &guess)?;
         vtc.push((vin, op.voltage(cell.q())));
     }
     Ok(vtc)
@@ -83,11 +80,7 @@ pub fn inverter_vtc(
 /// println!("hold SNM: {:.1} mV", r.snm.millivolts());
 /// # Ok::<(), finrad_spice::SpiceError>(())
 /// ```
-pub fn hold_snm(
-    tech: &Technology,
-    vdd: Voltage,
-    points: usize,
-) -> Result<SnmResult, SpiceError> {
+pub fn hold_snm(tech: &Technology, vdd: Voltage, points: usize) -> Result<SnmResult, SpiceError> {
     let vtc = inverter_vtc(tech, vdd, points)?;
     // Butterfly: curve A is (x, f(x)); curve B is the mirrored (f(y), y).
     // In the u = (x − y)/√2 rotated frame, the SNM is the largest vertical
@@ -150,11 +143,8 @@ pub fn read_vtc(
         if vin > v / 2.0 {
             guess.insert(cell.q(), 0.0);
         }
-        let op = analysis::dc_operating_point_from(
-            cell.circuit(),
-            &NewtonOptions::default(),
-            &guess,
-        )?;
+        let op =
+            analysis::dc_operating_point_from(cell.circuit(), &NewtonOptions::default(), &guess)?;
         vtc.push((vin, op.voltage(cell.q())));
     }
     Ok(vtc)
@@ -165,11 +155,7 @@ pub fn read_vtc(
 /// # Errors
 ///
 /// Propagates DC-solver failures.
-pub fn read_snm(
-    tech: &Technology,
-    vdd: Voltage,
-    points: usize,
-) -> Result<SnmResult, SpiceError> {
+pub fn read_snm(tech: &Technology, vdd: Voltage, points: usize) -> Result<SnmResult, SpiceError> {
     let vtc = read_vtc(tech, vdd, points)?;
     let mirrored: Vec<(f64, f64)> = vtc.iter().map(|&(x, y)| (y, x)).collect();
     let snm_lobe = |a: &[(f64, f64)], b: &[(f64, f64)]| -> f64 {

@@ -6,8 +6,8 @@
 //! factor F ≈ 0.115 (variance = F·n̄), which matters for strikes close to
 //! the flip threshold.
 
+use finrad_numerics::rng::Rng;
 use finrad_units::{constants, Charge, Energy};
-use rand::Rng;
 
 use crate::straggling::sample_standard_normal;
 
@@ -57,8 +57,7 @@ pub fn pairs_to_charge(pairs: u64) -> Charge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use finrad_numerics::rng::Xoshiro256pp;
 
     #[test]
     fn paper_conversion_factor() {
@@ -71,24 +70,26 @@ mod tests {
     fn zero_and_negative_deposits() {
         assert_eq!(mean_pairs(Energy::ZERO), 0.0);
         assert_eq!(mean_pairs(Energy::from_ev(-5.0)), 0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
         assert_eq!(sample_pairs(Energy::ZERO, &mut rng), 0);
     }
 
     #[test]
     fn sampled_mean_matches_expectation() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let e = Energy::from_kev(1.0); // ~278 pairs
         let expect = mean_pairs(e);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_pairs(e, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_pairs(e, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - expect).abs() / expect < 0.01, "{mean} vs {expect}");
     }
 
     #[test]
     fn fano_variance_sub_poissonian() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let e = Energy::from_kev(10.0); // ~2778 pairs
         let expect = mean_pairs(e);
         let n = 20_000;
@@ -102,11 +103,13 @@ mod tests {
 
     #[test]
     fn small_mean_bernoulli_branch_unbiased() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let e = Energy::from_ev(3.6 * 2.5); // mean = 2.5 pairs
         let n = 50_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_pairs(e, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_pairs(e, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 2.5).abs() < 0.05, "{mean}");
     }
 

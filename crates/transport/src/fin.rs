@@ -10,9 +10,8 @@ use crate::ehp;
 use crate::stopping::StoppingModel;
 use crate::straggling::{sample_energy_loss, StragglingModel};
 use finrad_geometry::{sampling, Aabb, Ray, Vec3};
+use finrad_numerics::rng::Rng;
 use finrad_units::{Energy, Length, Particle};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Dimensions of a single fin (the sensitive silicon volume between source
 /// and drain; the BOX below it blocks diffusion-collected charge, which is
@@ -31,7 +30,8 @@ use serde::{Deserialize, Serialize};
 /// let b = fin.to_aabb();
 /// assert!(b.volume() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FinGeometry {
     /// Fin width (x): the thin dimension the paper's Eq. 1 calls `w_Fin`.
     pub width: Length,
@@ -122,7 +122,11 @@ pub struct FinTraversal {
 
 impl FinTraversal {
     /// Creates a traversal simulator.
-    pub fn new(geometry: FinGeometry, stopping: StoppingModel, straggling: StragglingModel) -> Self {
+    pub fn new(
+        geometry: FinGeometry,
+        stopping: StoppingModel,
+        straggling: StragglingModel,
+    ) -> Self {
         Self {
             geometry,
             stopping,
@@ -187,6 +191,16 @@ impl FinTraversal {
         chord: Length,
         rng: &mut R,
     ) -> TraversalOutcome {
+        debug_assert!(
+            energy.ev().is_finite() && energy.ev() >= 0.0,
+            "incident energy must be finite and non-negative, got {} eV",
+            energy.ev()
+        );
+        debug_assert!(
+            chord.meters().is_finite() && chord.meters() >= 0.0,
+            "chord length must be finite and non-negative, got {} m",
+            chord.meters()
+        );
         let deposited = sample_energy_loss(
             &self.stopping,
             self.straggling,
@@ -194,6 +208,12 @@ impl FinTraversal {
             energy,
             chord,
             rng,
+        );
+        debug_assert!(
+            deposited.ev() >= 0.0 && deposited.ev() <= energy.ev(),
+            "deposited energy {} eV outside [0, incident {} eV]",
+            deposited.ev(),
+            energy.ev()
         );
         let pairs = ehp::sample_pairs(deposited, rng);
         TraversalOutcome {
@@ -213,8 +233,7 @@ impl Default for FinTraversal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use finrad_numerics::rng::Xoshiro256pp;
 
     #[test]
     fn geometry_accessors() {
@@ -241,9 +260,23 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "incident energy must be finite and non-negative")]
+    fn deposit_rejects_negative_incident_energy() {
+        let sim = FinTraversal::paper_default();
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let _ = sim.deposit(
+            Particle::Alpha,
+            Energy::from_mev(-1.0),
+            Length::from_nm(10.0),
+            &mut rng,
+        );
+    }
+
+    #[test]
     fn traversal_produces_positive_chords() {
         let sim = FinTraversal::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for _ in 0..500 {
             let o = sim.simulate(Particle::Alpha, Energy::from_mev(2.0), &mut rng);
             assert!(o.chord.nanometers() > 0.0);
@@ -255,7 +288,7 @@ mod tests {
     #[test]
     fn sampled_mean_chord_matches_cauchy() {
         let sim = FinTraversal::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let n = 30_000;
         let mean_nm: f64 = (0..n)
             .map(|_| {
@@ -278,9 +311,9 @@ mod tests {
     #[test]
     fn alpha_generates_more_pairs_than_proton() {
         let sim = FinTraversal::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let n = 10_000;
-        let mean_pairs = |p: Particle, rng: &mut ChaCha8Rng| -> f64 {
+        let mean_pairs = |p: Particle, rng: &mut Xoshiro256pp| -> f64 {
             (0..n)
                 .map(|_| sim.simulate(p, Energy::from_mev(2.0), rng).pairs as f64)
                 .sum::<f64>()
@@ -298,12 +331,13 @@ mod tests {
     fn pairs_fall_with_energy_above_peak() {
         // The Fig. 4 trend over the plotted 0.1-100 MeV band.
         let sim = FinTraversal::paper_default();
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let n = 10_000;
-        let mean = |e_mev: f64, rng: &mut ChaCha8Rng| -> f64 {
+        let mean = |e_mev: f64, rng: &mut Xoshiro256pp| -> f64 {
             (0..n)
                 .map(|_| {
-                    sim.simulate(Particle::Alpha, Energy::from_mev(e_mev), rng).pairs as f64
+                    sim.simulate(Particle::Alpha, Energy::from_mev(e_mev), rng)
+                        .pairs as f64
                 })
                 .sum::<f64>()
                 / n as f64
@@ -320,7 +354,7 @@ mod tests {
             StoppingModel::silicon(),
             StragglingModel::None,
         );
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let o = sim.deposit(
             Particle::Proton,
             Energy::from_mev(1.0),

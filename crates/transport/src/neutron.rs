@@ -15,9 +15,8 @@
 //! which is why a single reaction can upset several cells).
 
 use finrad_numerics::interp::LogLogTable;
+use finrad_numerics::rng::Rng;
 use finrad_units::{Energy, Length, StoppingPower};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Number density of silicon atoms, 1/cm³.
 const N_SI_PER_CM3: f64 = 4.99e22;
@@ -50,7 +49,8 @@ impl SecondaryIon {
 /// let p = model.interaction_probability(Energy::from_mev(100.0), Length::from_um(1.0));
 /// assert!(p > 0.0 && p < 1.0e-3); // reactions are rare per micron
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NeutronInteraction {
     /// Reaction (upset-relevant) cross-section vs energy, barns.
     sigma_barn: LogLogTable,
@@ -104,14 +104,9 @@ impl NeutronInteraction {
 
     /// Samples the charged secondary of one reaction at neutron energy
     /// `energy`.
-    pub fn sample_secondary<R: Rng + ?Sized>(
-        &self,
-        energy: Energy,
-        rng: &mut R,
-    ) -> SecondaryIon {
-        let mean_mev = (self.secondary_mean_base_mev
-            + self.secondary_mean_fraction * energy.mev())
-        .min(self.secondary_mean_cap_mev);
+    pub fn sample_secondary<R: Rng + ?Sized>(&self, energy: Energy, rng: &mut R) -> SecondaryIon {
+        let mean_mev = (self.secondary_mean_base_mev + self.secondary_mean_fraction * energy.mev())
+            .min(self.secondary_mean_cap_mev);
         // Exponential secondary-energy spectrum, capped at half the
         // neutron energy (kinematics).
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0f64);
@@ -140,8 +135,7 @@ impl Default for NeutronInteraction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use finrad_numerics::rng::Xoshiro256pp;
 
     #[test]
     fn mean_free_path_is_centimetres() {
@@ -175,7 +169,7 @@ mod tests {
     #[test]
     fn secondary_statistics() {
         let m = NeutronInteraction::silicon();
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let e_n = Energy::from_mev(100.0);
         let n = 20_000;
         let mut sum_e = 0.0;
@@ -198,7 +192,7 @@ mod tests {
     #[test]
     fn secondary_range_is_microns() {
         let m = NeutronInteraction::silicon();
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let s = m.sample_secondary(Energy::from_mev(100.0), &mut rng);
         let r = s.range().micrometers();
         assert!((0.001..1000.0).contains(&r), "range {r} um");
@@ -213,7 +207,7 @@ mod tests {
         let alpha_let = StoppingModel::silicon()
             .stopping(finrad_units::Particle::Alpha, Energy::from_mev(2.0))
             .kev_per_um();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut above = 0;
         let n = 1000;
         for _ in 0..n {
@@ -222,6 +216,9 @@ mod tests {
                 above += 1;
             }
         }
-        assert!(above > n / 2, "only {above}/{n} secondaries above alpha LET");
+        assert!(
+            above > n / 2,
+            "only {above}/{n} secondaries above alpha LET"
+        );
     }
 }

@@ -18,9 +18,8 @@
 //! more energy than it carries.
 
 use crate::stopping::StoppingModel;
+use finrad_numerics::rng::Rng;
 use finrad_units::{constants, kinematics, Energy, Length, Particle};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Draws a standard-normal deviate via Box–Muller (keeps the approved
 /// dependency set to `rand` itself, without `rand_distr`).
@@ -36,7 +35,8 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// Which fluctuation model to apply on top of the mean energy loss.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StragglingModel {
     /// No fluctuation: deposit exactly the mean loss. Useful for ablations
     /// and for deterministic tests.
@@ -60,10 +60,10 @@ pub enum StragglingModel {
 /// ```
 /// use finrad_transport::{stopping::StoppingModel, straggling};
 /// use finrad_units::{Energy, Length, Particle};
-/// use rand::SeedableRng;
+/// use finrad_numerics::rng::Xoshiro256pp;
 ///
 /// let model = StoppingModel::silicon();
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
 /// let de = straggling::sample_energy_loss(
 ///     &model,
 ///     straggling::StragglingModel::Auto,
@@ -106,10 +106,7 @@ fn xi_mev(particle: Particle, energy: Energy, chord: Length) -> f64 {
     let beta2 = kinematics::beta_squared(energy.mev(), particle.rest_energy_mev()).max(1e-12);
     let x_g_cm2 = constants::SILICON_DENSITY_G_CM3 * chord.centimeters();
     let z = particle.charge_number();
-    0.5 * constants::BETHE_K_MEV_CM2_PER_MOL
-        * (constants::SILICON_Z / constants::SILICON_A)
-        * z
-        * z
+    0.5 * constants::BETHE_K_MEV_CM2_PER_MOL * (constants::SILICON_Z / constants::SILICON_A) * z * z
         / beta2
         * x_g_cm2
 }
@@ -258,8 +255,7 @@ fn landau_params_from_mean(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use finrad_numerics::rng::Xoshiro256pp;
 
     fn model() -> StoppingModel {
         StoppingModel::silicon()
@@ -268,9 +264,17 @@ mod tests {
     #[test]
     fn fin_chords_are_in_the_landau_regime() {
         // nm chords, MeV particles: kappa << 1.
-        let k = kappa(Particle::Proton, Energy::from_mev(1.0), Length::from_nm(20.0));
+        let k = kappa(
+            Particle::Proton,
+            Energy::from_mev(1.0),
+            Length::from_nm(20.0),
+        );
         assert!(k < 0.1, "kappa {k}");
-        let ka = kappa(Particle::Alpha, Energy::from_mev(5.0), Length::from_nm(20.0));
+        let ka = kappa(
+            Particle::Alpha,
+            Energy::from_mev(5.0),
+            Length::from_nm(20.0),
+        );
         assert!(ka < 0.5, "kappa {ka}");
     }
 
@@ -286,7 +290,7 @@ mod tests {
 
     #[test]
     fn none_model_is_deterministic_mean() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let m = model();
         let e = Energy::from_mev(1.0);
         let l = Length::from_nm(20.0);
@@ -296,17 +300,19 @@ mod tests {
 
     #[test]
     fn sampled_mean_tracks_csda_mean() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let m = model();
         let e = Energy::from_mev(2.0);
         let l = Length::from_nm(30.0);
         let expect = m.mean_energy_loss(Particle::Alpha, e, l).ev();
-        for strag in [StragglingModel::Landau, StragglingModel::Bohr, StragglingModel::Auto] {
+        for strag in [
+            StragglingModel::Landau,
+            StragglingModel::Bohr,
+            StragglingModel::Auto,
+        ] {
             let n = 40_000;
             let mean_ev: f64 = (0..n)
-                .map(|_| {
-                    sample_energy_loss(&m, strag, Particle::Alpha, e, l, &mut rng).ev()
-                })
+                .map(|_| sample_energy_loss(&m, strag, Particle::Alpha, e, l, &mut rng).ev())
                 .sum::<f64>()
                 / n as f64;
             // Clamping at zero biases slightly upward; allow 15 %.
@@ -319,13 +325,13 @@ mod tests {
 
     #[test]
     fn landau_has_heavier_upper_tail_than_gaussian() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let m = model();
         let e = Energy::from_mev(1.0);
         let l = Length::from_nm(20.0);
         let mean = m.mean_energy_loss(Particle::Proton, e, l).ev();
         let n = 30_000;
-        let count_tail = |strag: StragglingModel, rng: &mut ChaCha8Rng| {
+        let count_tail = |strag: StragglingModel, rng: &mut Xoshiro256pp| {
             (0..n)
                 .filter(|_| {
                     sample_energy_loss(&m, strag, Particle::Proton, e, l, rng).ev() > 3.0 * mean
@@ -342,35 +348,45 @@ mod tests {
 
     #[test]
     fn losses_clamped_to_particle_energy() {
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let m = model();
         let e = Energy::from_kev(2.0); // nearly stopped particle
         let l = Length::from_um(10.0);
         for _ in 0..2000 {
-            let de =
-                sample_energy_loss(&m, StragglingModel::Auto, Particle::Alpha, e, l, &mut rng);
+            let de = sample_energy_loss(&m, StragglingModel::Auto, Particle::Alpha, e, l, &mut rng);
             assert!(de >= Energy::ZERO && de <= e);
         }
     }
 
     #[test]
     fn moyal_sampler_statistics() {
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let n = 100_000;
         let samples: Vec<f64> = (0..n).map(|_| sample_moyal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         // E[λ] = γ_E + ln 2 ≈ 1.2704.
         assert!((mean - 1.2704).abs() < 0.03, "moyal mean {mean}");
         // Mode near zero: more mass in [-1, 1] than in [1, 3].
-        let near = samples.iter().filter(|&&x| (-1.0..1.0).contains(&x)).count();
+        let near = samples
+            .iter()
+            .filter(|&&x| (-1.0..1.0).contains(&x))
+            .count();
         let far = samples.iter().filter(|&&x| (1.0..3.0).contains(&x)).count();
         assert!(near > far);
     }
 
     #[test]
     fn bohr_sigma_scales_with_sqrt_thickness() {
-        let s1 = bohr_sigma(Particle::Alpha, Energy::from_mev(1.0), Length::from_nm(10.0));
-        let s4 = bohr_sigma(Particle::Alpha, Energy::from_mev(1.0), Length::from_nm(40.0));
+        let s1 = bohr_sigma(
+            Particle::Alpha,
+            Energy::from_mev(1.0),
+            Length::from_nm(10.0),
+        );
+        let s4 = bohr_sigma(
+            Particle::Alpha,
+            Energy::from_mev(1.0),
+            Length::from_nm(40.0),
+        );
         assert!((s4 / s1 - 2.0).abs() < 1e-9);
     }
 
@@ -381,7 +397,7 @@ mod tests {
         let e = Energy::from_mev(1.0);
         let l = Length::from_nm(30.0);
         let params = landau_params(&m, Particle::Alpha, e, l);
-        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
         for factor in [0.8, 1.0, 1.5, 2.0] {
             let threshold = params.mean * factor;
             let analytic = deposit_exceedance(&params, threshold, e);

@@ -12,7 +12,6 @@
 //! * **Eq. 3** — pulse amplitude `I = Q/τ = nₑ·e/τ` over width τ.
 
 use finrad_units::{Charge, Current, Energy, Length, Particle, Time, Voltage};
-use serde::{Deserialize, Serialize};
 
 /// Effective electron mobility in a confined 14 nm fin, cm²/(V·s).
 ///
@@ -51,7 +50,8 @@ pub fn transit_time(l_fin: Length, vds: Voltage) -> Time {
 
 /// A rectangular parasitic current pulse (the paper's Fig. 3(b)):
 /// amplitude `I = Q/τ` over width `τ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CurrentPulse {
     /// Pulse amplitude.
     pub amplitude: Current,
@@ -103,7 +103,11 @@ mod tests {
         // At the alpha energies of interest (≳ 2 MeV), τp < 1 fs.
         for e in [2.0, 5.0, 10.0] {
             let tp = passage_time(Particle::Alpha, Energy::from_mev(e), Length::from_nm(8.0));
-            assert!(tp.femtoseconds() < 1.0, "tp {} fs at {e} MeV", tp.femtoseconds());
+            assert!(
+                tp.femtoseconds() < 1.0,
+                "tp {} fs at {e} MeV",
+                tp.femtoseconds()
+            );
         }
     }
 

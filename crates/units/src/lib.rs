@@ -25,9 +25,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -38,7 +38,8 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit_label:expr) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
         pub struct $name(f64);
 
         impl $name {
@@ -783,7 +784,7 @@ impl Mul<Voltage> for Charge {
 
 /// Physical constants used throughout the workspace.
 pub mod constants {
-    use super::{Energy, Charge};
+    use super::{Charge, Energy};
 
     /// The elementary charge, in coulombs.
     pub const ELEMENTARY_CHARGE: Charge = Charge(1.602_176_634e-19);
@@ -839,7 +840,8 @@ pub mod constants {
 /// assert_eq!(Particle::Alpha.charge_number(), 2.0);
 /// assert!(Particle::Alpha.rest_energy_mev() > Particle::Proton.rest_energy_mev());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Particle {
     /// A proton (hydrogen nucleus), charge +1.
     Proton,
@@ -1076,57 +1078,76 @@ mod tests {
         assert!(format!("{}", Voltage::from_volts(0.8)).contains('V'));
         assert!(format!("{}", Length::from_meters(1.0)).contains('m'));
     }
-
-    #[test]
-    fn serde_round_trip() {
-        let e = Energy::from_mev(3.3);
-        let json = serde_json::to_string(&e).unwrap();
-        let back: Energy = serde_json::from_str(&json).unwrap();
-        assert_eq!(e, back);
-    }
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn add_then_sub_round_trips(a in -1.0e3f64..1.0e3, b in -1.0e3f64..1.0e3) {
-            let x = Energy::from_mev(a);
-            let y = Energy::from_mev(b);
-            let back = (x + y) - y;
-            prop_assert!((back.mev() - a).abs() <= 1e-9 * (1.0 + a.abs() + b.abs()));
+    /// Deterministic grid point `i` of `n` in `[lo, hi]` — replaces the
+    /// external property-testing dependency with exhaustive small sweeps.
+    fn grid(i: u32, n: u32, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (i as f64 + 0.5) / n as f64
+    }
+
+    #[test]
+    fn add_then_sub_round_trips() {
+        for i in 0..40 {
+            for j in 0..40 {
+                let a = grid(i, 40, -1.0e3, 1.0e3);
+                let b = grid(j, 40, -1.0e3, 1.0e3);
+                let x = Energy::from_mev(a);
+                let y = Energy::from_mev(b);
+                let back = (x + y) - y;
+                assert!((back.mev() - a).abs() <= 1e-9 * (1.0 + a.abs() + b.abs()));
+            }
         }
+    }
 
-        #[test]
-        fn scaling_is_linear(a in 1.0e-3f64..1.0e3, k in 1.0e-3f64..1.0e3) {
-            let x = Length::from_um(a);
-            prop_assert!(((x * k).micrometers() - a * k).abs() <= 1e-9 * a * k);
+    #[test]
+    fn scaling_is_linear() {
+        for i in 0..50 {
+            for j in 0..50 {
+                let a = grid(i, 50, 1.0e-3, 1.0e3);
+                let k = grid(j, 50, 1.0e-3, 1.0e3);
+                let x = Length::from_um(a);
+                assert!(((x * k).micrometers() - a * k).abs() <= 1e-9 * a * k);
+            }
         }
+    }
 
-        #[test]
-        fn charge_time_current_triangle(n in 1.0f64..1.0e7, fs in 0.5f64..1.0e4) {
-            let q = Charge::from_electrons(n);
-            let tau = Time::from_fs(fs);
-            let i = q / tau;
-            let q2 = i * tau;
-            prop_assert!((q2.electrons() - n).abs() / n < 1e-12);
+    #[test]
+    fn charge_time_current_triangle() {
+        for i in 0..60 {
+            for j in 0..60 {
+                let n = grid(i, 60, 1.0, 1.0e7);
+                let fs = grid(j, 60, 0.5, 1.0e4);
+                let q = Charge::from_electrons(n);
+                let tau = Time::from_fs(fs);
+                let i_pulse = q / tau;
+                let q2 = i_pulse * tau;
+                assert!((q2.electrons() - n).abs() / n < 1e-12);
+            }
         }
+    }
 
-        #[test]
-        fn unit_round_trip_energy(mev in 1.0e-6f64..1.0e7) {
+    #[test]
+    fn unit_round_trip_energy() {
+        for i in 0..2000 {
+            let mev = grid(i, 2000, 1.0e-6, 1.0e7);
             let e = Energy::from_mev(mev);
-            prop_assert!((Energy::from_kev(e.kev()).mev() - mev).abs() / mev < 1e-12);
+            assert!((Energy::from_kev(e.kev()).mev() - mev).abs() / mev < 1e-12);
         }
+    }
 
-        #[test]
-        fn clamp_within_bounds(v in -10.0f64..10.0) {
+    #[test]
+    fn clamp_within_bounds() {
+        for i in 0..500 {
+            let v = grid(i, 500, -10.0, 10.0);
             let lo = Voltage::from_volts(0.0);
             let hi = Voltage::from_volts(1.0);
             let c = Voltage::from_volts(v).clamp(lo, hi);
-            prop_assert!(c >= lo && c <= hi);
+            assert!(c >= lo && c <= hi);
         }
     }
 }

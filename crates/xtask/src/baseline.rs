@@ -1,0 +1,274 @@
+//! The ratchet baseline: known violation counts per (lint, file).
+//!
+//! The baseline lives at `xtask/lint-baseline.toml` in the repo root. Each
+//! entry records how many violations of one lint family one file is allowed
+//! to carry. The lint gate fails when a file *exceeds* its baselined count
+//! (new debt) and, in `--deny-all` mode, also when it falls *below* it
+//! (stale baseline — re-run `--fix-allowlist` to ratchet the budget down so
+//! fixed debt cannot silently return).
+//!
+//! The file is a deliberately restricted TOML dialect (an array of
+//! `[[entry]]` tables with string/integer scalars) so it can be parsed with
+//! no dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lints::{LintId, Violation};
+
+/// Where the baseline lives, relative to the repo root.
+pub const BASELINE_PATH: &str = "xtask/lint-baseline.toml";
+
+/// Violation budgets keyed by (lint id, repo-relative path).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, PathBuf), usize>,
+}
+
+impl Baseline {
+    /// Loads the baseline at `root/xtask/lint-baseline.toml`; a missing file
+    /// is an empty baseline.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let path = root.join(BASELINE_PATH);
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = std::fs::read_to_string(&path)?;
+        Self::parse(&text).map_err(|msg| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {msg}", path.display()),
+            )
+        })
+    }
+
+    /// Parses the restricted-TOML baseline format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<PathBuf>, Option<usize>)> = None;
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                Self::flush(&mut current, &mut entries, no)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", no + 1));
+            };
+            let slot = current
+                .as_mut()
+                .ok_or_else(|| format!("line {}: key outside [[entry]]", no + 1))?;
+            match key.trim() {
+                "id" => slot.0 = Some(unquote(value)?),
+                "file" => slot.1 = Some(PathBuf::from(unquote(value)?)),
+                "count" => {
+                    slot.2 = Some(
+                        value
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("line {}: bad count: {e}", no + 1))?,
+                    )
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", no + 1)),
+            }
+        }
+        Self::flush(&mut current, &mut entries, usize::MAX)?;
+        Ok(Self { entries })
+    }
+
+    fn flush(
+        current: &mut Option<(Option<String>, Option<PathBuf>, Option<usize>)>,
+        entries: &mut BTreeMap<(String, PathBuf), usize>,
+        line: usize,
+    ) -> Result<(), String> {
+        if let Some((id, file, count)) = current.take() {
+            let (Some(id), Some(file), Some(count)) = (id, file, count) else {
+                return Err(format!(
+                    "entry before line {} is missing id, file or count",
+                    line.saturating_add(1)
+                ));
+            };
+            entries.insert((id, file), count);
+        }
+        Ok(())
+    }
+
+    /// Builds a baseline from observed violations.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, PathBuf), usize> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.lint.as_str().to_string(), v.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Serializes back to the restricted TOML dialect.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# finrad lint baseline — violation budgets per (lint, file).\n\
+             # Regenerate with `cargo xtask lint --fix-allowlist`; counts may\n\
+             # only ratchet down. `rng-determinism` must never appear here.\n",
+        );
+        for ((id, file), count) in &self.entries {
+            let _ = write!(
+                out,
+                "\n[[entry]]\nid = \"{id}\"\nfile = \"{}\"\ncount = {count}\n",
+                file.display()
+            );
+        }
+        out
+    }
+
+    /// Writes the baseline under `root`.
+    pub fn store(&self, root: &Path) -> io::Result<()> {
+        let path = root.join(BASELINE_PATH);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_toml())
+    }
+
+    /// The budget for (lint, file), 0 when absent.
+    pub fn budget(&self, lint: LintId, file: &Path) -> usize {
+        self.entries
+            .get(&(lint.as_str().to_string(), file.to_path_buf()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates all `(lint-id, file, count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Path, usize)> {
+        self.entries
+            .iter()
+            .map(|((id, file), count)| (id.as_str(), file.as_path(), *count))
+    }
+
+    /// Whether any entry exists for `lint`.
+    pub fn has_lint(&self, lint: LintId) -> bool {
+        self.entries.keys().any(|(id, _)| id == lint.as_str())
+    }
+
+    /// Total budgeted violations.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+}
+
+fn unquote(value: &str) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("expected quoted string, got `{v}`"))
+    }
+}
+
+/// Outcome of checking observed violations against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineCheck {
+    /// Violations beyond a file's budget — always fatal.
+    pub new_violations: Vec<Violation>,
+    /// Baselined (budgeted) violations, reported but not fatal.
+    pub budgeted: Vec<Violation>,
+    /// `(lint-id, file, budget, observed)` where observed < budget; fatal in
+    /// `--deny-all` mode because the baseline must ratchet down.
+    pub stale: Vec<(String, PathBuf, usize, usize)>,
+}
+
+/// Splits `violations` into within-budget and over-budget against
+/// `baseline`, and finds stale budgets.
+pub fn check(violations: &[Violation], baseline: &Baseline) -> BaselineCheck {
+    let mut observed: BTreeMap<(String, PathBuf), usize> = BTreeMap::new();
+    let mut result = BaselineCheck::default();
+    for v in violations {
+        let key = (v.lint.as_str().to_string(), v.file.clone());
+        let seen = observed.entry(key).or_insert(0);
+        *seen += 1;
+        if *seen <= baseline.budget(v.lint, &v.file) {
+            result.budgeted.push(v.clone());
+        } else {
+            result.new_violations.push(v.clone());
+        }
+    }
+    for (id, file, budget) in baseline.iter() {
+        let seen = observed
+            .get(&(id.to_string(), file.to_path_buf()))
+            .copied()
+            .unwrap_or(0);
+        if seen < budget {
+            result
+                .stale
+                .push((id.to_string(), file.to_path_buf(), budget, seen));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(lint: LintId, file: &str, line: usize) -> Violation {
+        Violation {
+            lint,
+            file: PathBuf::from(file),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let vs = vec![
+            v(LintId::PanicFreedom, "crates/a/src/lib.rs", 3),
+            v(LintId::PanicFreedom, "crates/a/src/lib.rs", 9),
+            v(LintId::UnitSafety, "crates/b/src/lib.rs", 1),
+        ];
+        let b = Baseline::from_violations(&vs);
+        let parsed = Baseline::parse(&b.to_toml()).unwrap();
+        assert_eq!(b, parsed);
+        assert_eq!(
+            parsed.budget(LintId::PanicFreedom, Path::new("crates/a/src/lib.rs")),
+            2
+        );
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn check_splits_budgeted_new_and_stale() {
+        let base = Baseline::from_violations(&[
+            v(LintId::PanicFreedom, "a.rs", 1),
+            v(LintId::PanicFreedom, "a.rs", 2),
+            v(LintId::UnitSafety, "b.rs", 1),
+        ]);
+        // One panic-freedom fixed (1 of 2 remains), one brand-new float hit,
+        // unit-safety in b.rs untouched.
+        let now = vec![
+            v(LintId::PanicFreedom, "a.rs", 1),
+            v(LintId::FloatDiscipline, "a.rs", 4),
+            v(LintId::UnitSafety, "b.rs", 1),
+        ];
+        let r = check(&now, &base);
+        assert_eq!(r.budgeted.len(), 2);
+        assert_eq!(r.new_violations.len(), 1);
+        assert_eq!(r.new_violations[0].lint, LintId::FloatDiscipline);
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].2, 2);
+        assert_eq!(r.stale[0].3, 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Baseline::parse("count = 3\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nid = \"x\"\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nid = x\nfile = \"f\"\ncount = 1\n").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Workspace automation for the `finrad` repo — chiefly `cargo xtask lint`,
+//! a dependency-free static-analysis gate over every workspace `.rs` source.
+//!
+//! The gate enforces four domain lint families (see [`lints`]):
+//!
+//! * `unit-safety` — public physics APIs must use `finrad-units` newtypes,
+//!   not bare `f64`, for dimensioned parameters and returns.
+//! * `rng-determinism` — no entropy- or wall-clock-seeded randomness
+//!   anywhere; Monte-Carlo results must be reproducible from a seed.
+//! * `panic-freedom` — no `unwrap`/`expect`/`panic!`-family calls or LUT
+//!   slice indexing in non-test library code.
+//! * `float-discipline` — no `f32`, float `==`/`!=`, or
+//!   `partial_cmp().unwrap()`.
+//!
+//! Known debt is budgeted in `xtask/lint-baseline.toml` (see [`baseline`]);
+//! individual sites are suppressed with `// finrad-lint: allow(<id>)`. The
+//! full policy lives in `docs/static-analysis.md`.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod lints;
+pub mod report;
+pub mod source;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lints::{Violation, UNIT_SAFETY_CRATES};
+
+/// Lints one file's source text; `rel_path` is used for reporting and for
+/// deciding whether the unit-safety family applies.
+pub fn lint_file_source(rel_path: &Path, text: &str, unit_safety: bool) -> Vec<Violation> {
+    let scrubbed = source::scrub(text);
+    lints::lint_source(rel_path, &scrubbed, unit_safety)
+}
+
+/// Result of scanning a source tree.
+#[derive(Debug)]
+pub struct ScanResult {
+    /// Number of `.rs` files linted.
+    pub files_scanned: usize,
+    /// All violations, ordered by (file, line).
+    pub violations: Vec<Violation>,
+}
+
+/// Scans the workspace rooted at `root`: the facade crate's `src/` plus
+/// every `crates/*/src/` except `crates/xtask` itself. Binary targets
+/// (`src/bin/`) are skipped — the lint families target *library* code.
+pub fn scan_tree(root: &Path) -> io::Result<ScanResult> {
+    let mut files: Vec<(PathBuf, bool)> = Vec::new();
+
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs_files(&facade, &mut files, false)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "xtask" {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                let unit_safety = UNIT_SAFETY_CRATES.contains(&name);
+                collect_rs_files(&src, &mut files, unit_safety)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for (path, unit_safety) in &files {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        violations.extend(lint_file_source(rel, &text, *unit_safety));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(ScanResult {
+        files_scanned: files.len(),
+        violations,
+    })
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `bin/` subtrees.
+fn collect_rs_files(
+    dir: &Path,
+    out: &mut Vec<(PathBuf, bool)>,
+    unit_safety: bool,
+) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            if path.file_name().and_then(|n| n.to_str()) == Some("bin") {
+                continue;
+            }
+            collect_rs_files(&path, out, unit_safety)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push((path, unit_safety));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,588 @@
+//! The four domain lint families.
+//!
+//! All lints operate on a [`ScrubbedSource`](crate::source::ScrubbedSource)
+//! so comments and literals can never produce false positives, and all of
+//! them honour `// finrad-lint: allow(<id>)` on the violation line or the
+//! line above.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::source::ScrubbedSource;
+
+/// Identifier of a lint family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintId {
+    /// Bare `f64` in public physics signatures where a unit newtype exists.
+    UnitSafety,
+    /// Entropy-seeded or wall-clock-seeded randomness in library code.
+    RngDeterminism,
+    /// `unwrap`/`expect`/`panic!`-family calls and LUT slice indexing in
+    /// non-test library code.
+    PanicFreedom,
+    /// `f32`, float `==`/`!=`, and `partial_cmp().unwrap()` patterns.
+    FloatDiscipline,
+}
+
+impl LintId {
+    /// The stable string ID used in allow directives, the baseline file and
+    /// the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintId::UnitSafety => "unit-safety",
+            LintId::RngDeterminism => "rng-determinism",
+            LintId::PanicFreedom => "panic-freedom",
+            LintId::FloatDiscipline => "float-discipline",
+        }
+    }
+
+    /// Every lint family, in reporting order.
+    pub const ALL: [LintId; 4] = [
+        LintId::UnitSafety,
+        LintId::RngDeterminism,
+        LintId::PanicFreedom,
+        LintId::FloatDiscipline,
+    ];
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: LintId,
+    /// Repo-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Crate directory names (under `crates/`) whose public API must use the
+/// `finrad-units` newtypes instead of bare `f64` for dimensioned values.
+pub const UNIT_SAFETY_CRATES: [&str; 6] = [
+    "transport",
+    "finfet",
+    "spice",
+    "sram",
+    "core",
+    "environment",
+];
+
+/// Runs every lint family over one scrubbed file.
+///
+/// `unit_safety` gates the unit-safety family: it only applies to the
+/// physics crates listed in [`UNIT_SAFETY_CRATES`].
+pub fn lint_source(path: &Path, src: &ScrubbedSource, unit_safety: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if unit_safety {
+        lint_unit_safety(path, src, &mut out);
+    }
+    lint_rng_determinism(path, src, &mut out);
+    lint_panic_freedom(path, src, &mut out);
+    lint_float_discipline(path, src, &mut out);
+    out.retain(|v| !src.is_allowed(v.lint.as_str(), v.line));
+    out.sort_by_key(|v| (v.line, v.lint));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// rng-determinism
+// ---------------------------------------------------------------------------
+
+const RNG_FORBIDDEN: [(&str, &str); 4] = [
+    (
+        "thread_rng",
+        "entropy-seeded RNG breaks Monte-Carlo reproducibility",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG breaks Monte-Carlo reproducibility",
+    ),
+    (
+        "SystemTime",
+        "wall-clock-derived seeds break Monte-Carlo reproducibility",
+    ),
+    (
+        "rand::random",
+        "implicit thread-local RNG breaks Monte-Carlo reproducibility",
+    ),
+];
+
+fn lint_rng_determinism(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        for (needle, why) in RNG_FORBIDDEN {
+            if contains_word(&line.code, needle) {
+                out.push(Violation {
+                    lint: LintId::RngDeterminism,
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{needle}`: {why}; seed a `finrad_numerics::rng::Xoshiro256pp` instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// panic-freedom
+// ---------------------------------------------------------------------------
+
+const PANIC_PATTERNS: [&str; 5] = [".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"];
+
+fn lint_panic_freedom(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in PANIC_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Violation {
+                    lint: LintId::PanicFreedom,
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{}` can panic in library code; return a Result or document the invariant with an allow",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        for name in lut_index_idents(&line.code) {
+            out.push(Violation {
+                lint: LintId::PanicFreedom,
+                file: path.to_path_buf(),
+                line: idx + 1,
+                message: format!(
+                    "direct slice indexing on LUT `{name}` can panic on out-of-range lookups; use `.get()` or a checked interpolation call"
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers ending in `lut` or `table` that are immediately indexed with
+/// `[`.
+fn lut_index_idents(code: &str) -> Vec<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut found = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let mut start = i;
+        while start > 0 && (chars[start - 1].is_alphanumeric() || chars[start - 1] == '_') {
+            start -= 1;
+        }
+        if start == i {
+            continue;
+        }
+        let ident: String = chars[start..i].iter().collect();
+        let lower = ident.to_lowercase();
+        if lower.ends_with("lut") || lower.ends_with("table") {
+            found.push(ident);
+        }
+    }
+    found
+}
+
+// ---------------------------------------------------------------------------
+// float-discipline
+// ---------------------------------------------------------------------------
+
+fn lint_float_discipline(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if contains_word(code, "f32") {
+            out.push(Violation {
+                lint: LintId::FloatDiscipline,
+                file: path.to_path_buf(),
+                line: idx + 1,
+                message: "`f32` loses precision the transport/circuit chain needs; use `f64`"
+                    .to_string(),
+            });
+        }
+        if code.contains("partial_cmp") && (code.contains(".unwrap()") || code.contains(".expect("))
+        {
+            out.push(Violation {
+                lint: LintId::FloatDiscipline,
+                file: path.to_path_buf(),
+                line: idx + 1,
+                message:
+                    "`partial_cmp().unwrap()` panics on NaN; use `f64::total_cmp` for a total order"
+                        .to_string(),
+            });
+        }
+        for col in float_eq_positions(code) {
+            let op = &code[col..col + 2];
+            out.push(Violation {
+                lint: LintId::FloatDiscipline,
+                file: path.to_path_buf(),
+                line: idx + 1,
+                message: format!(
+                    "`{op}` against a float literal is exact-equality on floats; compare with a tolerance or allow() the sentinel"
+                ),
+            });
+        }
+    }
+}
+
+/// Byte offsets of `==`/`!=` operators with a float literal on either side.
+fn float_eq_positions(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        let is_eq = two == b"==" && (i == 0 || !b"<>=!+-*/%&|^".contains(&bytes[i - 1]));
+        let is_ne = two == b"!=";
+        if (is_eq || is_ne) && bytes.get(i + 2) != Some(&b'=') {
+            let lhs = token_before(code, i);
+            let rhs = token_after(code, i + 2);
+            if is_float_literal(&lhs) || is_float_literal(&rhs) {
+                found.push(i);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    found
+}
+
+fn token_before(code: &str, end: usize) -> String {
+    let chars: Vec<char> = code[..end].chars().collect();
+    let mut j = chars.len();
+    while j > 0 && chars[j - 1] == ' ' {
+        j -= 1;
+    }
+    let stop = j;
+    while j > 0 && (chars[j - 1].is_alphanumeric() || ".,_".contains(chars[j - 1])) {
+        j -= 1;
+    }
+    chars[j..stop].iter().collect()
+}
+
+fn token_after(code: &str, start: usize) -> String {
+    let chars: Vec<char> = code[start..].chars().collect();
+    let mut j = 0;
+    while j < chars.len() && chars[j] == ' ' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'-') {
+        j += 1;
+    }
+    let begin = j;
+    while j < chars.len() && (chars[j].is_alphanumeric() || "._".contains(chars[j])) {
+        j += 1;
+    }
+    chars[begin..j].iter().collect()
+}
+
+/// Recognizes `1.0`, `.5`, `2.`, `1e-12`, `3.0e8`, `0.0f64` as floats.
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok.trim_end_matches("f64").trim_end_matches("f32");
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        return false;
+    }
+    let has_dot = tok.contains('.');
+    let has_exp =
+        tok.chars().any(|c| c == 'e' || c == 'E') && tok.starts_with(|c: char| c.is_ascii_digit());
+    (has_dot || has_exp)
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_digit() || ".eE+-_".contains(c))
+}
+
+// ---------------------------------------------------------------------------
+// unit-safety
+// ---------------------------------------------------------------------------
+
+/// Parameter/function names that denote a dimensioned quantity with an
+/// existing `finrad-units` newtype.
+const UNIT_EXACT: [&str; 6] = ["vdd", "flux", "fit", "energy", "charge", "voltage"];
+const UNIT_SUFFIXES: [&str; 18] = [
+    "_ev",
+    "_kev",
+    "_mev",
+    "_gev",
+    "_charge",
+    "_fc",
+    "_coulombs",
+    "_electrons",
+    "_nm",
+    "_um",
+    "_cm",
+    "_volt",
+    "_volts",
+    "_mv",
+    "_flux",
+    "_fit",
+    "_ps",
+    "_seconds",
+];
+
+fn matches_unit_vocab(name: &str) -> bool {
+    let name = name.trim_start_matches('_');
+    UNIT_EXACT.contains(&name) || UNIT_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+fn lint_unit_safety(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>) {
+    // Join non-test lines (blanking test ones) so multi-line signatures can
+    // be reassembled while keeping a byte-offset → line mapping.
+    let mut joined = String::new();
+    let mut line_starts = Vec::with_capacity(src.lines.len());
+    for line in &src.lines {
+        line_starts.push(joined.len());
+        if line.in_test {
+            joined.push('\n');
+        } else {
+            joined.push_str(&line.code);
+            joined.push('\n');
+        }
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    let mut search_from = 0;
+    while let Some(rel) = joined[search_from..].find("pub fn ") {
+        let fn_start = search_from + rel;
+        search_from = fn_start + 7;
+        let Some(sig_end_rel) = joined[fn_start..].find(['{', ';']) else {
+            break;
+        };
+        let sig = &joined[fn_start..fn_start + sig_end_rel];
+        let name = sig["pub fn ".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect::<String>();
+
+        let Some(open) = sig.find('(') else { continue };
+        let Some(params) = matching_paren_body(&sig[open..]) else {
+            continue;
+        };
+        for (param_rel, param) in split_top_level(params) {
+            let Some((pname, ptype)) = param.split_once(':') else {
+                continue;
+            };
+            let pname = pname.trim().trim_start_matches("mut ").trim();
+            if ptype.trim() == "f64" && matches_unit_vocab(pname) {
+                let leading_ws = param.len() - param.trim_start().len();
+                let offset = fn_start + open + 1 + param_rel + leading_ws;
+                out.push(Violation {
+                    lint: LintId::UnitSafety,
+                    file: path.to_path_buf(),
+                    line: line_of(offset),
+                    message: format!(
+                        "`pub fn {name}` takes `{pname}: f64`; use the matching finrad-units newtype"
+                    ),
+                });
+            }
+        }
+
+        if let Some(ret) = sig[open..].find("->") {
+            let ret_ty = sig[open + ret + 2..]
+                .split(" where")
+                .next()
+                .unwrap_or("")
+                .trim();
+            if ret_ty == "f64" && matches_unit_vocab(&name) {
+                out.push(Violation {
+                    lint: LintId::UnitSafety,
+                    file: path.to_path_buf(),
+                    line: line_of(fn_start),
+                    message: format!(
+                        "`pub fn {name}` returns bare `f64`; use the matching finrad-units newtype"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Given a string starting at `(`, returns the body up to the matching `)`.
+fn matching_paren_body(s: &str) -> Option<&str> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a parameter list on top-level commas, yielding each parameter and
+/// its byte offset within the list.
+fn split_top_level(params: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut start = 0;
+    let bytes = params.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'<' => angle += 1,
+            b'>' => {
+                if i == 0 || bytes[i - 1] != b'-' {
+                    angle -= 1;
+                }
+            }
+            b',' if depth == 0 && angle <= 0 => {
+                out.push((start, &params[start..i]));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < params.len() {
+        out.push((start, &params[start..]));
+    }
+    out
+}
+
+/// True when `code` contains `word` bounded by non-identifier characters.
+fn contains_word(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scrub;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Violation> {
+        lint_source(Path::new("x.rs"), &scrub(src), true)
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("let r = thread_rng();", "thread_rng"));
+        assert!(!contains_word("let my_thread_rng_thing = 1;", "thread_rng"));
+        assert!(contains_word("x: f32,", "f32"));
+        assert!(!contains_word("xf32y", "f32"));
+    }
+
+    #[test]
+    fn float_literal_recognition() {
+        assert!(is_float_literal("1.0"));
+        assert!(is_float_literal("0.0f64"));
+        assert!(is_float_literal("1e-12"));
+        assert!(is_float_literal("3.0e8"));
+        assert!(!is_float_literal("0"));
+        assert!(!is_float_literal("x"));
+        assert!(!is_float_literal("0x1f"));
+    }
+
+    #[test]
+    fn detects_float_equality_but_not_integers() {
+        let v = run("fn f(a: f64) -> bool { a == 0.0 }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, LintId::FloatDiscipline);
+        assert!(run("fn f(a: usize) -> bool { a == 0 }\n").is_empty());
+        assert!(run("fn f(a: f64) -> bool { a <= 0.0 }\n").is_empty());
+    }
+
+    #[test]
+    fn unit_safety_multiline_signature() {
+        let src = "pub fn build(\n    lo_mev: f64,\n    hi_mev: f64,\n) -> u32 { 0 }\n";
+        let v = run(src);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].lint, LintId::UnitSafety);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn unit_safety_return_type() {
+        let v = run("pub fn vdd(&self) -> f64 { 0.8 }\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("returns bare `f64`"));
+    }
+
+    #[test]
+    fn unit_safety_ignores_newtypes_and_private_fns() {
+        assert!(run("pub fn vdd(&self) -> Voltage { self.vdd }\n").is_empty());
+        assert!(run("fn vdd(&self) -> f64 { 0.8 }\n").is_empty());
+        assert!(run("pub fn scale(factor: f64) -> f64 { factor }\n").is_empty());
+    }
+
+    #[test]
+    fn lut_indexing_flagged() {
+        let v = run("fn f() { let y = self.pair_lut[i]; }\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("pair_lut"));
+        assert!(run("fn f() { let y = self.pair_lut.get(i); }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "fn f() {\n    // finrad-lint: allow(panic-freedom)\n    x.unwrap();\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_panic_lints_not_rng() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); let r = thread_rng(); }\n}\n";
+        let v = run(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, LintId::RngDeterminism);
+    }
+}

@@ -1,0 +1,180 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! ```text
+//! cargo xtask lint                  # report; fail on non-baselined debt
+//! cargo xtask lint --deny-all       # CI mode: also fail on stale baseline
+//! cargo xtask lint --fix-allowlist  # rewrite xtask/lint-baseline.toml
+//! cargo xtask lint --json <path|->  # machine-readable report
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::baseline::{self, Baseline, BASELINE_PATH};
+use xtask::lints::LintId;
+use xtask::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask lint [--deny-all] [--fix-allowlist] [--json <path|->]";
+
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut deny_all = false;
+    let mut fix_allowlist = false;
+    let mut json_target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--fix-allowlist" => fix_allowlist = true,
+            "--json" => match it.next() {
+                Some(target) => json_target = Some(target.clone()),
+                None => {
+                    eprintln!("--json needs a path (or `-` for stdout)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let scan = match xtask::scan_tree(&root) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("error: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // rng-determinism is a zero-tolerance class: it can be allow()ed at a
+    // documented call site but never budgeted away in the baseline.
+    let rng_hits = scan
+        .violations
+        .iter()
+        .filter(|v| v.lint == LintId::RngDeterminism)
+        .count();
+
+    if fix_allowlist {
+        let baselineable: Vec<_> = scan
+            .violations
+            .iter()
+            .filter(|v| v.lint != LintId::RngDeterminism)
+            .cloned()
+            .collect();
+        let new_baseline = Baseline::from_violations(&baselineable);
+        if let Err(e) = new_baseline.store(&root) {
+            eprintln!("error: cannot write {BASELINE_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {BASELINE_PATH}: {} budgeted violation(s) across {} file(s) scanned",
+            new_baseline.total(),
+            scan.files_scanned
+        );
+        if rng_hits > 0 {
+            eprintln!(
+                "error: {rng_hits} rng-determinism violation(s) cannot be baselined — fix them:"
+            );
+            for v in scan
+                .violations
+                .iter()
+                .filter(|v| v.lint == LintId::RngDeterminism)
+            {
+                eprintln!("  {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let base = match Baseline::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let check = baseline::check(&scan.violations, &base);
+
+    let baseline_has_rng = base.has_lint(LintId::RngDeterminism);
+    let stale_fatal = deny_all && !check.stale.is_empty();
+    let pass = check.new_violations.is_empty() && !stale_fatal && !baseline_has_rng;
+
+    if let Some(target) = &json_target {
+        let json = report::to_json(scan.files_scanned, pass, &check);
+        if target == "-" {
+            // write! instead of print! so a closed pipe (`... --json - | head`)
+            // is a silent truncation, not a panic.
+            let _ = std::io::stdout().write_all(json.as_bytes());
+        } else if let Err(e) = std::fs::write(target, json) {
+            eprintln!("error: cannot write JSON report to {target}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    for v in &check.budgeted {
+        println!("note(baselined): {v}");
+    }
+    for v in &check.new_violations {
+        println!("error: {v}");
+    }
+    for (id, file, budget, observed) in &check.stale {
+        let level = if deny_all { "error" } else { "warning" };
+        println!(
+            "{level}: stale baseline: [{id}] {} budgets {budget} but only {observed} observed — \
+             run `cargo xtask lint --fix-allowlist` to ratchet down",
+            file.display()
+        );
+    }
+    if baseline_has_rng {
+        println!(
+            "error: {BASELINE_PATH} contains rng-determinism entries; that class must be fixed, \
+             not budgeted"
+        );
+    }
+
+    println!(
+        "lint: {} file(s), {} new violation(s), {} baselined, {} stale budget(s){}",
+        scan.files_scanned,
+        check.new_violations.len(),
+        check.budgeted.len(),
+        check.stale.len(),
+        if deny_all { " [deny-all]" } else { "" }
+    );
+
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}

@@ -1,0 +1,135 @@
+//! Machine-readable JSON report of a lint run.
+
+use std::fmt::Write as _;
+
+use crate::baseline::BaselineCheck;
+use crate::lints::{LintId, Violation};
+
+/// Serializes the outcome of a lint run as a JSON document.
+///
+/// Schema:
+///
+/// ```json
+/// {
+///   "files_scanned": 42,
+///   "pass": true,
+///   "counts": {"unit-safety": 0, "rng-determinism": 0, ...},
+///   "new_violations": [{"lint": "...", "file": "...", "line": 1, "message": "..."}],
+///   "budgeted_violations": [...],
+///   "stale_baseline": [{"lint": "...", "file": "...", "budget": 2, "observed": 1}]
+/// }
+/// ```
+pub fn to_json(files_scanned: usize, pass: bool, check: &BaselineCheck) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"pass\": {pass},");
+
+    out.push_str("  \"counts\": {");
+    for (i, lint) in LintId::ALL.iter().enumerate() {
+        let n = check
+            .new_violations
+            .iter()
+            .chain(&check.budgeted)
+            .filter(|v| v.lint == *lint)
+            .count();
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{lint}\": {n}");
+    }
+    out.push_str("},\n");
+
+    write_violation_array(&mut out, "new_violations", &check.new_violations);
+    out.push_str(",\n");
+    write_violation_array(&mut out, "budgeted_violations", &check.budgeted);
+    out.push_str(",\n");
+
+    out.push_str("  \"stale_baseline\": [");
+    for (i, (id, file, budget, observed)) in check.stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"lint\": {}, \"file\": {}, \"budget\": {budget}, \"observed\": {observed}}}",
+            json_string(id),
+            json_string(&file.display().to_string()),
+        );
+    }
+    if !check.stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn write_violation_array(out: &mut String, key: &str, violations: &[Violation]) {
+    let _ = write!(out, "  \"{key}\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(v.lint.as_str()),
+            json_string(&v.file.display().to_string()),
+            v.line,
+            json_string(&v.message),
+        );
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push(']');
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn report_is_valid_shape() {
+        let check = BaselineCheck {
+            new_violations: vec![Violation {
+                lint: LintId::PanicFreedom,
+                file: PathBuf::from("a.rs"),
+                line: 3,
+                message: "say \"no\" to panics".to_string(),
+            }],
+            budgeted: vec![],
+            stale: vec![("unit-safety".to_string(), PathBuf::from("b.rs"), 2, 1)],
+        };
+        let json = to_json(7, false, &check);
+        assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("\"pass\": false"));
+        assert!(json.contains("\"panic-freedom\": 1"));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"budget\": 2"));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

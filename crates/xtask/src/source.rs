@@ -1,0 +1,368 @@
+//! Comment- and string-aware scrubbing of Rust sources.
+//!
+//! The lint pass never wants to fire on text inside comments, doc comments,
+//! or string/char literals, and it must honour `#[cfg(test)]` module
+//! boundaries. Instead of a full parser, this module produces a *scrubbed*
+//! view of a file: the body of every comment and literal is replaced by
+//! spaces (delimiters kept, line structure preserved), so downstream lints
+//! can do plain substring matching on `Line::code` without false positives.
+//!
+//! The scrubber also extracts `// finrad-lint: allow(<id>, ...)` directives
+//! from line comments; a directive suppresses matching violations on its own
+//! line and on the line directly below it.
+
+/// One scrubbed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code with comment/literal bodies blanked out.
+    pub code: String,
+    /// Whether the line sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+    /// Lint IDs allow-listed on this line (`"all"` allows everything).
+    pub allows: Vec<String>,
+}
+
+/// A whole file after scrubbing; lines are 0-indexed internally (lints
+/// report 1-indexed).
+#[derive(Debug)]
+pub struct ScrubbedSource {
+    /// The scrubbed lines, in file order.
+    pub lines: Vec<Line>,
+}
+
+impl ScrubbedSource {
+    /// True when a violation of `lint` at 1-indexed `line` is suppressed by
+    /// an allow directive on that line or the one above it.
+    pub fn is_allowed(&self, lint: &str, line: usize) -> bool {
+        let idx = line.saturating_sub(1);
+        let hit = |i: usize| {
+            self.lines
+                .get(i)
+                .is_some_and(|l| l.allows.iter().any(|a| a == lint || a == "all"))
+        };
+        hit(idx) || (idx > 0 && hit(idx - 1))
+    }
+}
+
+/// Scrubs `src`, blanking comments and literal bodies and tagging
+/// `#[cfg(test)]` regions.
+pub fn scrub(src: &str) -> ScrubbedSource {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<(String, Vec<String>)> = Vec::new();
+    let mut code = String::new();
+    let mut allows: Vec<String> = Vec::new();
+    let mut i = 0;
+
+    macro_rules! end_line {
+        () => {{
+            lines.push((std::mem::take(&mut code), std::mem::take(&mut allows)));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            end_line!();
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line comment (incl. doc comments): capture for allow(), blank.
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let comment: String = chars[start..i].iter().collect();
+            parse_allow_directive(&comment, &mut allows);
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            // Block comment with nesting; preserve line structure.
+            let mut depth = 1u32;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    end_line!();
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            i = scrub_string(&chars, i, &mut code, &mut lines, &mut allows, 0);
+        } else if is_raw_string_start(&chars, i) {
+            let mut j = i;
+            if chars[j] == 'b' {
+                code.push('b');
+                j += 1;
+            }
+            code.push('r');
+            j += 1;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                code.push('#');
+                hashes += 1;
+                j += 1;
+            }
+            i = scrub_raw_string(&chars, j, &mut code, &mut lines, &mut allows, hashes);
+        } else if c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_is_ident(&chars, i) {
+            code.push('b');
+            i = scrub_string(&chars, i + 1, &mut code, &mut lines, &mut allows, 0);
+        } else if c == '\'' {
+            i = scrub_char_or_lifetime(&chars, i, &mut code);
+        } else {
+            code.push(c);
+            i += 1;
+        }
+    }
+    if !code.is_empty() || !allows.is_empty() {
+        end_line!();
+    }
+
+    ScrubbedSource {
+        lines: tag_test_regions(lines),
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if prev_is_ident(chars, i) {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Scrubs a normal (escaped) string literal starting at the opening quote;
+/// returns the index past the closing quote.
+fn scrub_string(
+    chars: &[char],
+    mut i: usize,
+    code: &mut String,
+    lines: &mut Vec<(String, Vec<String>)>,
+    allows: &mut Vec<String>,
+    _hashes: usize,
+) -> usize {
+    code.push('"');
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2, // skip the escaped char
+            '\n' => {
+                lines.push((std::mem::take(code), std::mem::take(allows)));
+                i += 1;
+            }
+            '"' => {
+                code.push('"');
+                return i + 1;
+            }
+            _ => {
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Scrubs a raw string body starting at the opening quote; `hashes` is the
+/// number of `#` in the delimiter. Returns the index past the terminator.
+fn scrub_raw_string(
+    chars: &[char],
+    mut i: usize,
+    code: &mut String,
+    lines: &mut Vec<(String, Vec<String>)>,
+    allows: &mut Vec<String>,
+    hashes: usize,
+) -> usize {
+    code.push('"');
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            lines.push((std::mem::take(code), std::mem::take(allows)));
+            i += 1;
+        } else if chars[i] == '"'
+            && chars[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == '#')
+                .count()
+                == hashes
+        {
+            code.push('"');
+            for _ in 0..hashes {
+                code.push('#');
+            }
+            return i + 1 + hashes;
+        } else {
+            code.push(' ');
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes; returns
+/// the index past whatever was consumed.
+fn scrub_char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+    let is_char_literal = match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    };
+    if !is_char_literal {
+        code.push('\'');
+        return i + 1;
+    }
+    code.push('\'');
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => {
+                code.push('\'');
+                return j + 1;
+            }
+            _ => {
+                code.push(' ');
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+fn parse_allow_directive(comment: &str, allows: &mut Vec<String>) {
+    let Some(rest) = comment.split("finrad-lint:").nth(1) else {
+        return;
+    };
+    let Some(inner) = rest.split("allow(").nth(1) else {
+        return;
+    };
+    let Some(ids) = inner.split(')').next() else {
+        return;
+    };
+    for id in ids.split(',') {
+        let id = id.trim();
+        if !id.is_empty() {
+            allows.push(id.to_string());
+        }
+    }
+}
+
+/// Tags lines that belong to `#[cfg(test)]` modules by tracking brace depth.
+fn tag_test_regions(raw: Vec<(String, Vec<String>)>) -> Vec<Line> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut test_depth: Option<i64> = None;
+    for (code, allows) in raw {
+        let mut in_test = test_depth.is_some();
+        if code.contains("#[cfg(test)]") {
+            pending_attr = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_attr && test_depth.is_none() {
+                        test_depth = Some(depth);
+                        pending_attr = false;
+                        in_test = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(td) = test_depth {
+                        if depth < td {
+                            test_depth = None;
+                        }
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use ...;` — attribute spent on a
+                    // braceless item.
+                    if pending_attr && test_depth.is_none() && !code.contains("#[cfg(test)]") {
+                        pending_attr = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(Line {
+            code,
+            in_test,
+            allows,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let s = scrub("let x = 1; // thread_rng in a comment\nlet y = \"thread_rng\";\n");
+        assert!(!s.lines[0].code.contains("thread_rng"));
+        assert!(s.lines[0].code.contains("let x = 1;"));
+        assert!(!s.lines[1].code.contains("thread_rng"));
+        assert!(s.lines[1].code.contains("let y = \""));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = scrub("a /* one /* two */ still */ b\nc /* open\nunwrap()\n*/ d\n");
+        assert_eq!(s.lines[0].code.trim_end(), "a  b");
+        assert!(!s.lines[2].code.contains("unwrap"));
+        assert!(s.lines[3].code.contains('d'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scrub("let p = r#\"panic!(\"x\")\"#;\nlet q = r\"todo!()\";\n");
+        assert!(!s.lines[0].code.contains("panic!"));
+        assert!(!s.lines[1].code.contains("todo!"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_blanked() {
+        let s = scrub("fn f<'a>(x: &'a str) -> char { 'y' }\n");
+        assert!(s.lines[0].code.contains("<'a>"));
+        assert!(!s.lines[0].code.contains('y'));
+    }
+
+    #[test]
+    fn allow_directives_apply_to_own_and_next_line() {
+        let s = scrub("// finrad-lint: allow(panic-freedom)\nx.unwrap();\ny.unwrap();\n");
+        assert!(s.is_allowed("panic-freedom", 2));
+        assert!(!s.is_allowed("panic-freedom", 3));
+        assert!(!s.is_allowed("float-discipline", 2));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_tagged() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let s = scrub(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: idiomatic finrad library code — the lint pass must stay silent.
+// Mentions of thread_rng() or x.unwrap() in comments don't count, and
+// "panic!" inside a string literal is data, not code.
+
+pub fn pof(qcrit_sorted: &[f64], qc: f64) -> f64 {
+    let below = qcrit_sorted.partition_point(|&sample| sample <= qc);
+    below as f64 / qcrit_sorted.len().max(1) as f64
+}
+
+pub fn describe() -> &'static str {
+    "never panic!, never unwrap()"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let p = pof(&[1.0, 2.0], 1.5);
+        assert!((p - 0.5).abs() < 1e-12);
+        let v: Option<f64> = Some(p);
+        let _ = v.unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: float-discipline violations — f32, float equality, and
+// partial_cmp().unwrap().
+
+pub fn truncate(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn sort(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

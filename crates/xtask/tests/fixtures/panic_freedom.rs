@@ -1,0 +1,10 @@
+// Fixture: panic-freedom violations — unwrap and LUT slice indexing.
+
+pub fn lookup(values: &[f64]) -> f64 {
+    let first = values.first().unwrap();
+    *first
+}
+
+pub fn raw_index(pair_lut: &[f64], i: usize) -> f64 {
+    pair_lut[i]
+}

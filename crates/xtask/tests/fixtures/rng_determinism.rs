@@ -1,0 +1,6 @@
+// Fixture: rng-determinism violation — entropy-seeded generator.
+
+pub fn sample() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

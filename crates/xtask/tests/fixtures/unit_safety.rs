@@ -1,0 +1,19 @@
+// Fixture: unit-safety violations — bare f64 where a newtype exists.
+// Not compiled; consumed by the lint integration tests.
+
+pub fn set_supply(vdd: f64) {
+    let _ = vdd;
+}
+
+pub struct Meter;
+
+impl Meter {
+    pub fn vdd(&self) -> f64 {
+        0.8
+    }
+}
+
+pub fn scale(factor: f64) -> f64 {
+    // Dimensionless — must NOT be flagged.
+    factor
+}

@@ -33,7 +33,10 @@ fn main() -> Result<(), CoreError> {
     println!("## Upset multiplicity per 2 MeV alpha hit (9x9 array, 0.7 V)");
     let pmf = sim.estimate_multiplicity(Particle::Alpha, Energy::from_mev(2.0), 60_000, 4, 7);
     let p_any: f64 = pmf[1..].iter().sum();
-    println!("{:>8}  {:>14}  {:>16}", "k bits", "P(k | hit)", "share of upsets");
+    println!(
+        "{:>8}  {:>14}  {:>16}",
+        "k bits", "P(k | hit)", "share of upsets"
+    );
     for (k, &p) in pmf.iter().enumerate().skip(1) {
         let label = if k == pmf.len() - 1 {
             format!(">={k}")

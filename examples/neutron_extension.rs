@@ -24,7 +24,9 @@ fn main() -> Result<(), CoreError> {
     let interaction = NeutronInteraction::silicon();
     println!(
         "neutron mean free path at 100 MeV: {:.1} cm",
-        interaction.mean_free_path(Energy::from_mev(100.0)).centimeters()
+        interaction
+            .mean_free_path(Energy::from_mev(100.0))
+            .centimeters()
     );
     let sim = NeutronSimulator::new(&array, interaction, &table, NeutronVolume::default());
     let (fit, bins) = sim.ser(&NeutronSpectrum::sea_level(), 6, 20_000, 17);

@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!(
-        "# the same weakening feedback that lowers SNM at low Vdd lowers the"
-    );
+    println!("# the same weakening feedback that lowers SNM at low Vdd lowers the");
     println!("# critical charge, which is why the paper's Fig. 9 SER rises there");
     Ok(())
 }

@@ -8,7 +8,7 @@
 
 use finrad::prelude::*;
 use finrad::transport::timing;
-use rand::SeedableRng;
+use finrad_numerics::rng::Xoshiro256pp;
 
 fn main() {
     let model = StoppingModel::silicon();
@@ -35,7 +35,10 @@ fn main() {
     println!("## Timescales (paper Eqs. 1-2)");
     let fin = FinGeometry::paper_14nm();
     let tau = timing::transit_time(fin.length, Voltage::from_volts(1.0));
-    println!("  carrier transit time tau at 1 V: {:.1} fs", tau.femtoseconds());
+    println!(
+        "  carrier transit time tau at 1 V: {:.1} fs",
+        tau.femtoseconds()
+    );
     for (p, e_mev) in [(Particle::Alpha, 5.0), (Particle::Proton, 5.0)] {
         let tp = timing::passage_time(p, Energy::from_mev(e_mev), fin.width);
         println!(
@@ -48,9 +51,17 @@ fn main() {
     println!();
     println!("## Electron-hole pair LUT (Fig. 4 kernel, 5000 traversals/point)");
     let sim = FinTraversal::paper_default();
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
     for particle in Particle::ALL {
-        let lut = EhpLut::build(&sim, particle, 0.1, 100.0, 7, 5_000, &mut rng);
+        let lut = EhpLut::build(
+            &sim,
+            particle,
+            Energy::from_mev(0.1),
+            Energy::from_mev(100.0),
+            7,
+            5_000,
+            &mut rng,
+        );
         print!("  {particle:>7}:");
         for row in lut.rows() {
             print!("  {:.2e}@{:.1}MeV", row.mean_pairs, row.energy_mev);

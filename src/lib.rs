@@ -34,6 +34,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub use finrad_core as core;
@@ -51,9 +52,7 @@ pub mod prelude {
     pub use finrad_core::array::{DataPattern, MemoryArray};
     pub use finrad_core::fit::{fit_rate, FitRate, PofBin};
     pub use finrad_core::pipeline::{PipelineConfig, SerPipeline, SerReport};
-    pub use finrad_core::strike::{
-        DepositMode, DirectionLaw, FlipModel, StrikeSimulator,
-    };
+    pub use finrad_core::strike::{DepositMode, DirectionLaw, FlipModel, StrikeSimulator};
     pub use finrad_core::CoreError;
     pub use finrad_environment::{AlphaSpectrum, NeutronSpectrum, ProtonSpectrum, Spectrum};
     pub use finrad_finfet::{FinFet, Polarity, Technology, VariationModel};
@@ -66,9 +65,7 @@ pub mod prelude {
     pub use finrad_transport::lut::EhpLut;
     pub use finrad_transport::stopping::StoppingModel;
     pub use finrad_transport::straggling::StragglingModel;
-    pub use finrad_units::{
-        Area, Charge, Current, Energy, Flux, Length, Particle, Time, Voltage,
-    };
+    pub use finrad_units::{Area, Charge, Current, Energy, Flux, Length, Particle, Time, Voltage};
 }
 
 #[cfg(test)]
@@ -80,10 +77,12 @@ mod tests {
         let cell = SramCell::new(&tech, Voltage::from_volts(0.8));
         assert_eq!(cell.vdd().volts(), 0.8);
         let model = StoppingModel::silicon();
-        assert!(model
-            .stopping(Particle::Alpha, Energy::from_mev(1.0))
-            .kev_per_um()
-            > 0.0);
+        assert!(
+            model
+                .stopping(Particle::Alpha, Energy::from_mev(1.0))
+                .kev_per_um()
+                > 0.0
+        );
         let spectrum = AlphaSpectrum::paper_default();
         assert!(spectrum.total_flux().per_cm2_hour() > 0.0);
     }

@@ -5,8 +5,7 @@ use finrad::core::array::{DataPattern, MemoryArray};
 use finrad::core::strike::{DepositMode, DirectionLaw, FlipModel, StrikeSimulator};
 use finrad::prelude::*;
 use finrad::transport::straggling::{deposit_exceedance, landau_params};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use finrad_numerics::rng::Xoshiro256pp;
 use std::collections::HashMap;
 
 fn quick_table(vdd_v: f64, variation: Variation) -> PofTable {
@@ -54,8 +53,7 @@ fn sampled_and_expected_flip_models_agree_in_expectation() {
     // variance win shows up for protons, where Sampled sees almost no
     // events at all — covered by the proton bound below.
     assert!(expected.total.stddev() <= sampled.total.stddev() * 1.1);
-    let proton_expected =
-        build(FlipModel::Expected).estimate(Particle::Proton, energy, 30_000, 7);
+    let proton_expected = build(FlipModel::Expected).estimate(Particle::Proton, energy, 30_000, 7);
     assert!(
         proton_expected.total.mean() > 0.0,
         "Expected model must resolve rare proton flips"
@@ -97,8 +95,16 @@ fn lut_deposits_match_traversal_statistics() {
     // The EhpLut rows must agree with fresh traversal sampling at the same
     // energy (they are built from the same kernel).
     let sim = FinTraversal::paper_default();
-    let mut rng = ChaCha8Rng::seed_from_u64(9);
-    let lut = EhpLut::build(&sim, Particle::Alpha, 0.5, 50.0, 6, 20_000, &mut rng);
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let lut = EhpLut::build(
+        &sim,
+        Particle::Alpha,
+        Energy::from_mev(0.5),
+        Energy::from_mev(50.0),
+        6,
+        20_000,
+        &mut rng,
+    );
     let e = Energy::from_mev(2.0);
     let n = 20_000;
     let fresh: f64 = (0..n)
@@ -154,10 +160,7 @@ fn variation_table_pof_bounds_nominal() {
     let nominal = quick_table(0.8, Variation::Nominal);
     let mc = quick_table(0.8, Variation::MonteCarlo { samples: 24 });
     let combo = StrikeCombo::single(StrikeTarget::I1);
-    let q_nom = nominal
-        .curve(combo)
-        .expect("characterized")
-        .median_qcrit();
+    let q_nom = nominal.curve(combo).expect("characterized").median_qcrit();
     let pof_at_nominal = mc.pof(combo, q_nom);
     assert!(
         pof_at_nominal > 0.05 && pof_at_nominal < 0.95,

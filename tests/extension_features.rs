@@ -75,7 +75,12 @@ fn multiplicity_spectrum_dominated_by_single_bit() {
     );
     let pmf = sim.estimate_multiplicity(Particle::Alpha, Energy::from_mev(2.0), 8_000, 4, 3);
     assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-    assert!(pmf[1] > 10.0 * pmf[2], "1-bit {} vs 2-bit {}", pmf[1], pmf[2]);
+    assert!(
+        pmf[1] > 10.0 * pmf[2],
+        "1-bit {} vs 2-bit {}",
+        pmf[1],
+        pmf[2]
+    );
 }
 
 #[test]
@@ -105,8 +110,7 @@ fn neutron_ser_well_below_direct_ionization() {
     cfg.cols = 4;
     cfg.iterations_per_energy = 2_000;
     let pipeline = SerPipeline::new(cfg);
-    let alpha = pipeline
-        .run_with_table(Particle::Alpha, Voltage::from_volts(0.8), &table);
+    let alpha = pipeline.run_with_table(Particle::Alpha, Voltage::from_volts(0.8), &table);
     assert!(
         n_fit.total < alpha.fit_total,
         "neutron {} FIT should sit below alpha {} FIT",

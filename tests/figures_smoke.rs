@@ -3,8 +3,7 @@
 //! qualitative shape.
 
 use finrad::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use finrad_numerics::rng::Xoshiro256pp;
 
 #[test]
 fn fig2_spectra_shapes() {
@@ -25,9 +24,25 @@ fn fig2_spectra_shapes() {
 #[test]
 fn fig4_lut_shape() {
     let sim = FinTraversal::paper_default();
-    let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let alpha = EhpLut::build(&sim, Particle::Alpha, 0.5, 100.0, 6, 4_000, &mut rng);
-    let proton = EhpLut::build(&sim, Particle::Proton, 0.5, 100.0, 6, 4_000, &mut rng);
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
+    let alpha = EhpLut::build(
+        &sim,
+        Particle::Alpha,
+        Energy::from_mev(0.5),
+        Energy::from_mev(100.0),
+        6,
+        4_000,
+        &mut rng,
+    );
+    let proton = EhpLut::build(
+        &sim,
+        Particle::Proton,
+        Energy::from_mev(0.5),
+        Energy::from_mev(100.0),
+        6,
+        4_000,
+        &mut rng,
+    );
     // Alpha above proton; both decreasing over the decade 3 -> 100 MeV.
     for e_mev in [1.0, 10.0, 80.0] {
         let e = Energy::from_mev(e_mev);
