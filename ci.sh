@@ -10,10 +10,13 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline"
 cargo test --workspace -q --offline
 
+echo "==> cargo test --features fault-injection (robustness suite)"
+cargo test -q --offline --features fault-injection --test fault_injection
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo xtask lint --deny-all"
-cargo xtask lint --deny-all
+echo "==> cargo xtask lint --deny-all --max panic-freedom=8"
+cargo xtask lint --deny-all --max panic-freedom=8
 
 echo "CI gate passed."

@@ -1,0 +1,558 @@
+//! Fault-tolerant campaign runtime around [`SerPipeline`].
+//!
+//! A *campaign* is one (particle, V_dd) FIT computation run with
+//! robustness guarantees the bare pipeline does not make:
+//!
+//! - **Checkpoint/resume** — per-energy-bin POF tallies are snapshotted
+//!   to a versioned on-disk [`Checkpoint`] at bin boundaries, and
+//!   [`CampaignRunner::resume`] continues an interrupted run to a FIT
+//!   rate bit-identical to an uninterrupted one (bins reuse the exact
+//!   per-bin seed `seed + 0xB10C + k·6271` the pipeline derives, and
+//!   checkpointed POFs round-trip as raw f64 bit patterns).
+//! - **Degraded coverage instead of aborts** — a bin whose Monte Carlo
+//!   panics (or is forced to fail by the fault-injection plan) becomes an
+//!   error-tagged [`BinOutcome::Failed`] record excluded from the Eq. 8
+//!   integration; the report carries an explicit [`Coverage`] summary so
+//!   an under-integrated FIT is never mistaken for a complete one.
+//! - **NaN quarantine surfaced** — poisoned iterations rejected at the
+//!   accumulator boundary and non-finite bins excluded by
+//!   [`fit_rate_checked`] are both counted in the report.
+//!
+//! Everything that can go wrong maps to a typed [`CampaignError`]; no
+//! degradation path panics or silently returns a wrong FIT.
+
+use crate::checkpoint::{
+    config_fingerprint, BinRecord, Checkpoint, CheckpointError, CHECKPOINT_VERSION,
+};
+use crate::fit::{fit_rate_checked, FitRate, PofBin};
+use crate::pipeline::{PipelineConfig, SerPipeline};
+use crate::strike::{DepositMode, StrikeSimulator};
+use crate::CoreError;
+use finrad_units::{Particle, Voltage};
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Configuration of a fault-tolerant campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The underlying pipeline configuration (seeds, iteration budget,
+    /// spectrum binning — all of it participates in the checkpoint
+    /// fingerprint).
+    pub pipeline: PipelineConfig,
+    /// Particle species.
+    pub particle: Particle,
+    /// Supply voltage.
+    pub vdd: Voltage,
+    /// Where to snapshot progress; `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Pause after computing this many *new* bins in one call (the
+    /// checkpoint is saved first). `None` runs to completion. Used to
+    /// bound per-invocation work and by the kill-and-resume tests.
+    pub max_bins_per_run: Option<usize>,
+    /// Deterministic fault plan for the robustness test-suite.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: FaultPlan,
+}
+
+impl CampaignConfig {
+    /// A campaign over `pipeline` with checkpointing disabled.
+    pub fn new(pipeline: PipelineConfig, particle: Particle, vdd: Voltage) -> Self {
+        Self {
+            pipeline,
+            particle,
+            vdd,
+            checkpoint_path: None,
+            max_bins_per_run: None,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: FaultPlan::default(),
+        }
+    }
+}
+
+/// Deterministic fault-injection plan, compiled only under the
+/// `fault-injection` feature. Default builds carry none of these hooks.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Bin indices forced to fail (they produce [`BinOutcome::Failed`]).
+    pub fail_bins: Vec<usize>,
+    /// Bin indices whose POFs are poisoned to NaN *after* estimation —
+    /// exercising the fit-level non-finite-bin exclusion.
+    pub poison_bins: Vec<usize>,
+    /// Bin indices that receive one extra NaN iteration pushed into the
+    /// accumulator — exercising the accumulator-level quarantine (the
+    /// resulting means, and hence the FIT, must be bit-identical to an
+    /// unpoisoned run).
+    pub poison_samples: Vec<usize>,
+}
+
+/// Errors a campaign can surface. Every degradation path ends here (or in
+/// a degraded-coverage report) — never in a panic.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Checkpoint load/save failed (truncated, corrupt, wrong version, or
+    /// I/O).
+    Checkpoint(CheckpointError),
+    /// The checkpoint on disk was produced by a different configuration;
+    /// resuming from it would silently mix incompatible tallies.
+    ConfigMismatch {
+        /// Fingerprint of the current configuration.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint.
+        found: u64,
+    },
+    /// The up-front cell characterization (or config validation) failed —
+    /// without a POF table no bin can run.
+    Pipeline(CoreError),
+    /// Every energy bin failed: there is no spectrum coverage at all, so
+    /// reporting a FIT of zero would be silently wrong.
+    NoCoverage {
+        /// Total bins attempted.
+        total_bins: usize,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint config mismatch: expected fingerprint {expected:016x}, \
+                 checkpoint carries {found:016x} (re-run fresh or restore the original config)"
+            ),
+            CampaignError::Pipeline(e) => write!(f, "campaign setup failed: {e}"),
+            CampaignError::NoCoverage { total_bins } => write!(
+                f,
+                "no spectrum coverage: all {total_bins} energy bins failed"
+            ),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Checkpoint(e) => Some(e),
+            CampaignError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+impl From<CoreError> for CampaignError {
+    fn from(e: CoreError) -> Self {
+        CampaignError::Pipeline(e)
+    }
+}
+
+/// Outcome of one energy bin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinOutcome {
+    /// The bin's Monte Carlo completed.
+    Ok {
+        /// The bin's POFs and spectrum slice.
+        bin: PofBin,
+        /// Iterations rejected by the accumulator-level NaN quarantine.
+        quarantined: u64,
+    },
+    /// The bin failed; it is excluded from the FIT integration.
+    Failed {
+        /// Human-readable description of the failure.
+        error: String,
+    },
+}
+
+/// Explicit spectrum-coverage summary for a (possibly degraded) campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    /// Total energy bins in the campaign.
+    pub total_bins: usize,
+    /// Bins whose Monte Carlo completed.
+    pub ok_bins: usize,
+    /// Bins excluded because they failed outright.
+    pub failed_bins: usize,
+    /// Completed bins excluded from Eq. 8 because a POF or flux was
+    /// non-finite.
+    pub non_finite_bins: usize,
+    /// Total iterations quarantined by the accumulator-level NaN guard.
+    pub quarantined_samples: u64,
+    /// Fraction of the spectrum's total integral flux carried by the bins
+    /// that actually entered the FIT integration (1.0 = full coverage).
+    pub flux_fraction: f64,
+}
+
+impl Coverage {
+    /// Whether every bin completed and entered the integration.
+    pub fn is_complete(&self) -> bool {
+        self.failed_bins == 0 && self.non_finite_bins == 0 && self.ok_bins == self.total_bins
+    }
+}
+
+/// The report of a finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Particle species.
+    pub particle: Particle,
+    /// Supply voltage.
+    pub vdd: Voltage,
+    /// FIT rates integrated over the covered bins (Eq. 8).
+    pub fit: FitRate,
+    /// Per-bin outcomes, indexed by energy-bin number.
+    pub outcomes: Vec<BinOutcome>,
+    /// Coverage summary; inspect before trusting `fit` when any bin
+    /// degraded.
+    pub coverage: Coverage,
+}
+
+/// What a single `run`/`resume` call produced.
+#[derive(Debug)]
+pub enum CampaignStatus {
+    /// The campaign ran (or resumed) to completion.
+    Complete(Box<CampaignReport>),
+    /// `max_bins_per_run` was reached; progress is checkpointed and a
+    /// later [`CampaignRunner::resume`] will continue.
+    Paused {
+        /// Bins computed so far (across all runs).
+        completed: usize,
+        /// Total bins in the campaign.
+        total: usize,
+    },
+}
+
+/// The fault-tolerant campaign driver.
+pub struct CampaignRunner {
+    config: CampaignConfig,
+    pipeline: SerPipeline,
+}
+
+impl CampaignRunner {
+    /// Creates a runner.
+    pub fn new(config: CampaignConfig) -> Self {
+        let pipeline = SerPipeline::new(config.pipeline.clone());
+        Self { config, pipeline }
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs the campaign from scratch, ignoring any checkpoint on disk
+    /// (a fresh run overwrites it at the first snapshot).
+    ///
+    /// # Errors
+    ///
+    /// See [`CampaignError`].
+    pub fn run(&self) -> Result<CampaignStatus, CampaignError> {
+        self.execute(Vec::new())
+    }
+
+    /// Resumes from the configured checkpoint if one exists (falling back
+    /// to a fresh run when the file is absent), after validating its
+    /// version, checksum, and config fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Checkpoint`] for an unreadable/invalid file,
+    /// [`CampaignError::ConfigMismatch`] for a checkpoint produced by a
+    /// different configuration, plus everything [`CampaignRunner::run`]
+    /// can produce.
+    pub fn resume(&self) -> Result<CampaignStatus, CampaignError> {
+        let Some(path) = &self.config.checkpoint_path else {
+            return self.run();
+        };
+        if !path.exists() {
+            return self.run();
+        }
+        let ck = Checkpoint::load(path)?;
+        let expected =
+            config_fingerprint(&self.config.pipeline, self.config.particle, self.config.vdd);
+        if ck.fingerprint != expected {
+            return Err(CampaignError::ConfigMismatch {
+                expected,
+                found: ck.fingerprint,
+            });
+        }
+        self.execute(ck.bins)
+    }
+
+    fn execute(&self, prior: Vec<BinRecord>) -> Result<CampaignStatus, CampaignError> {
+        let cfg = &self.config;
+        // The expensive, deterministic step: re-characterization on resume
+        // rebuilds the identical POF table, so tallies from the prior run
+        // compose bit-exactly with freshly computed bins.
+        let table = self.pipeline.build_pof_table(cfg.vdd)?;
+        let spectrum_bins = self.pipeline.energy_bins(cfg.particle);
+        let total = spectrum_bins.len();
+
+        let mut outcomes: Vec<Option<BinOutcome>> = vec![None; total];
+        for rec in prior {
+            let k = rec.index();
+            if k >= total {
+                return Err(CheckpointError::Corrupt(format!(
+                    "bin index {k} out of range for {total} bins"
+                ))
+                .into());
+            }
+            outcomes[k] = Some(match rec {
+                BinRecord::Ok {
+                    pof_total,
+                    pof_seu,
+                    pof_mbu,
+                    quarantined,
+                    ..
+                } => BinOutcome::Ok {
+                    bin: PofBin {
+                        spectrum: spectrum_bins[k],
+                        pof_total,
+                        pof_seu,
+                        pof_mbu,
+                    },
+                    quarantined,
+                },
+                BinRecord::Failed { error, .. } => BinOutcome::Failed { error },
+            });
+        }
+
+        let array = self.pipeline.build_array();
+        let traversal = self.pipeline.traversal();
+        let lut = (cfg.pipeline.deposit == DepositMode::LutMean)
+            .then(|| self.pipeline.build_ehp_lut(cfg.particle));
+        let sim = StrikeSimulator::new(
+            &array,
+            traversal,
+            &table,
+            self.pipeline.direction_for(cfg.particle),
+            cfg.pipeline.deposit,
+            cfg.pipeline.flip_model,
+            lut.as_ref(),
+        );
+
+        let mut new_bins = 0usize;
+        for (k, sb) in spectrum_bins.iter().enumerate() {
+            if outcomes[k].is_some() {
+                continue;
+            }
+            if let Some(max) = cfg.max_bins_per_run {
+                if new_bins >= max {
+                    let completed = outcomes.iter().filter(|o| o.is_some()).count();
+                    self.save_checkpoint(&outcomes)?;
+                    return Ok(CampaignStatus::Paused { completed, total });
+                }
+            }
+            #[cfg(feature = "fault-injection")]
+            if cfg.fault_plan.fail_bins.contains(&k) {
+                outcomes[k] = Some(BinOutcome::Failed {
+                    error: format!("injected fault: bin {k} forced to fail"),
+                });
+                new_bins += 1;
+                continue;
+            }
+            // Exactly the per-bin seed SerPipeline::run_with_table derives
+            // — the bit-identical-resume guarantee hangs on this.
+            let seed = cfg.pipeline.seed.wrapping_add(0xB10C + k as u64 * 6271);
+            let iterations = cfg.pipeline.iterations_per_energy;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                sim.estimate(cfg.particle, sb.energy, iterations, seed)
+            }));
+            outcomes[k] = Some(match result {
+                Ok(est) => {
+                    #[cfg(feature = "fault-injection")]
+                    let est = {
+                        let mut est = est;
+                        if cfg.fault_plan.poison_samples.contains(&k) {
+                            est.push(crate::strike::IterationOutcome {
+                                pof_total: f64::NAN,
+                                pof_seu: f64::NAN,
+                                pof_mbu: f64::NAN,
+                                cells_struck: 0,
+                            });
+                        }
+                        est
+                    };
+                    #[allow(unused_mut)]
+                    let mut bin = PofBin {
+                        spectrum: *sb,
+                        pof_total: est.total.mean(),
+                        pof_seu: est.seu.mean(),
+                        pof_mbu: est.mbu.mean(),
+                    };
+                    #[cfg(feature = "fault-injection")]
+                    if cfg.fault_plan.poison_bins.contains(&k) {
+                        bin.pof_total = f64::NAN;
+                        bin.pof_seu = f64::NAN;
+                        bin.pof_mbu = f64::NAN;
+                    }
+                    BinOutcome::Ok {
+                        bin,
+                        quarantined: est.quarantined,
+                    }
+                }
+                Err(payload) => BinOutcome::Failed {
+                    error: format!("bin {k} panicked: {}", payload_message(payload.as_ref())),
+                },
+            });
+            new_bins += 1;
+        }
+
+        if new_bins > 0 {
+            self.save_checkpoint(&outcomes)?;
+        }
+        self.integrate(outcomes, &array, &spectrum_bins)
+            .map(|report| CampaignStatus::Complete(Box::new(report)))
+    }
+
+    fn integrate(
+        &self,
+        outcomes: Vec<Option<BinOutcome>>,
+        array: &crate::array::MemoryArray,
+        spectrum_bins: &[finrad_environment::SpectrumBin],
+    ) -> Result<CampaignReport, CampaignError> {
+        let total = outcomes.len();
+        let outcomes: Vec<BinOutcome> = outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| BinOutcome::Failed {
+                    error: "bin never scheduled (internal accounting error)".into(),
+                })
+            })
+            .collect();
+        let ok_pof_bins: Vec<PofBin> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                BinOutcome::Ok { bin, .. } => Some(*bin),
+                BinOutcome::Failed { .. } => None,
+            })
+            .collect();
+        if ok_pof_bins.is_empty() {
+            return Err(CampaignError::NoCoverage { total_bins: total });
+        }
+        let (fit, non_finite_bins) = fit_rate_checked(&ok_pof_bins, array.footprint());
+        let quarantined_samples: u64 = outcomes
+            .iter()
+            .map(|o| match o {
+                BinOutcome::Ok { quarantined, .. } => *quarantined,
+                BinOutcome::Failed { .. } => 0,
+            })
+            .sum();
+        let total_flux: f64 = spectrum_bins
+            .iter()
+            .map(|sb| sb.integral_flux.per_m2_second())
+            .sum();
+        let covered_flux: f64 = ok_pof_bins
+            .iter()
+            .filter(|b| b.pof_total.is_finite() && b.pof_seu.is_finite() && b.pof_mbu.is_finite())
+            .map(|b| b.spectrum.integral_flux.per_m2_second())
+            .sum();
+        let coverage = Coverage {
+            total_bins: total,
+            ok_bins: ok_pof_bins.len(),
+            failed_bins: total - ok_pof_bins.len(),
+            non_finite_bins,
+            quarantined_samples,
+            flux_fraction: if total_flux > 0.0 {
+                covered_flux / total_flux
+            } else {
+                1.0
+            },
+        };
+        Ok(CampaignReport {
+            particle: self.config.particle,
+            vdd: self.config.vdd,
+            fit,
+            outcomes,
+            coverage,
+        })
+    }
+
+    fn save_checkpoint(&self, outcomes: &[Option<BinOutcome>]) -> Result<(), CampaignError> {
+        let Some(path) = &self.config.checkpoint_path else {
+            return Ok(());
+        };
+        let bins: Vec<BinRecord> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(k, o)| o.as_ref().map(|o| (k, o)))
+            .map(|(k, o)| match o {
+                BinOutcome::Ok { bin, quarantined } => BinRecord::Ok {
+                    index: k,
+                    pof_total: bin.pof_total,
+                    pof_seu: bin.pof_seu,
+                    pof_mbu: bin.pof_mbu,
+                    quarantined: *quarantined,
+                    energy_joules: bin.spectrum.energy.joules(),
+                    flux_per_m2_s: bin.spectrum.integral_flux.per_m2_second(),
+                },
+                BinOutcome::Failed { error } => BinRecord::Failed {
+                    index: k,
+                    error: error.clone(),
+                },
+            })
+            .collect();
+        let ck = Checkpoint {
+            fingerprint: config_fingerprint(
+                &self.config.pipeline,
+                self.config.particle,
+                self.config.vdd,
+            ),
+            particle: self.config.particle,
+            vdd_bits: self.config.vdd.volts().to_bits(),
+            total_bins: outcomes.len(),
+            bins,
+        };
+        debug_assert_eq!(CHECKPOINT_VERSION, 1);
+        ck.save(path)?;
+        Ok(())
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministically flips one hex digit inside the checkpoint body so
+/// the robustness suite can prove corruption is detected (the parser must
+/// report [`CheckpointError::Corrupt`], never a silently-wrong resume).
+/// Returns `false` when the file has no corruptible byte.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+#[cfg(feature = "fault-injection")]
+pub fn corrupt_checkpoint(path: &std::path::Path, seed: u64) -> std::io::Result<bool> {
+    let text = std::fs::read_to_string(path)?;
+    // Only touch the body between the version header (flipping the
+    // version digit would legitimately read as VersionMismatch) and the
+    // checksum line — body corruption is the interesting case.
+    let body_start = text.find('\n').map_or(0, |i| i + 1);
+    let body_end = text.rfind("\nchecksum ").map_or(text.len(), |i| i + 1);
+    let candidates: Vec<usize> = text[body_start..body_end]
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| b.is_ascii_hexdigit())
+        .map(|(i, _)| body_start + i)
+        .collect();
+    if candidates.is_empty() {
+        return Ok(false);
+    }
+    let pos = candidates[(seed as usize) % candidates.len()];
+    let mut bytes = text.into_bytes();
+    bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+    std::fs::write(path, &bytes)?;
+    Ok(true)
+}

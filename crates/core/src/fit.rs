@@ -83,6 +83,52 @@ pub fn fit_rate(bins: &[PofBin], footprint: Area) -> FitRate {
     rate
 }
 
+/// Eq. 8 with NaN/Inf quarantine: bins whose POFs or flux are non-finite
+/// are excluded from the integration instead of poisoning the sum.
+///
+/// Returns the FIT rate over the finite bins together with the number of
+/// bins that were excluded, so callers can report degraded spectrum
+/// coverage rather than silently under-integrating.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_core::fit::{fit_rate, fit_rate_checked, PofBin};
+/// use finrad_environment::SpectrumBin;
+/// use finrad_units::{Area, Energy, Flux};
+///
+/// let good = PofBin {
+///     spectrum: SpectrumBin {
+///         energy: Energy::from_mev(1.0),
+///         lo: Energy::from_mev(0.5),
+///         hi: Energy::from_mev(2.0),
+///         integral_flux: Flux::from_per_cm2_hour(0.001),
+///     },
+///     pof_total: 0.5,
+///     pof_seu: 0.4,
+///     pof_mbu: 0.1,
+/// };
+/// let poisoned = PofBin { pof_total: f64::NAN, ..good };
+/// let area = Area::from_square_cm(1.0);
+/// let (fit, excluded) = fit_rate_checked(&[good, poisoned], area);
+/// assert_eq!(excluded, 1);
+/// assert_eq!(fit, fit_rate(&[good], area));
+/// ```
+pub fn fit_rate_checked(bins: &[PofBin], footprint: Area) -> (FitRate, usize) {
+    let finite: Vec<PofBin> = bins
+        .iter()
+        .copied()
+        .filter(|b| {
+            b.pof_total.is_finite()
+                && b.pof_seu.is_finite()
+                && b.pof_mbu.is_finite()
+                && b.spectrum.integral_flux.per_m2_second().is_finite()
+        })
+        .collect();
+    let excluded = bins.len() - finite.len();
+    (fit_rate(&finite, footprint), excluded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,8 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod campaign;
+pub mod checkpoint;
 pub mod fit;
 pub mod neutron;
 pub mod pipeline;

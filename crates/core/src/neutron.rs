@@ -195,7 +195,12 @@ impl<'a> NeutronSimulator<'a> {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("neutron worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Forward the worker's own panic payload instead of
+                    // replacing it with a generic message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         let mut out = ArrayPofEstimate::default();

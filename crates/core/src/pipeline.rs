@@ -189,7 +189,7 @@ impl SerPipeline {
         )
     }
 
-    fn traversal(&self) -> FinTraversal {
+    pub(crate) fn traversal(&self) -> FinTraversal {
         let g = FinGeometry {
             width: self.config.tech.w_fin,
             length: self.config.tech.l_gate,

@@ -85,6 +85,10 @@ pub struct ArrayPofEstimate {
     pub seu: RunningStats,
     /// Statistics of POF_MBU across iterations.
     pub mbu: RunningStats,
+    /// Iterations rejected at this accumulator boundary because any POF
+    /// observable was NaN/Inf: poisoned samples never reach the
+    /// statistics, and the count surfaces in campaign reports.
+    pub quarantined: u64,
 }
 
 impl ArrayPofEstimate {
@@ -93,10 +97,18 @@ impl ArrayPofEstimate {
         self.total.merge(&other.total);
         self.seu.merge(&other.seu);
         self.mbu.merge(&other.mbu);
+        self.quarantined += other.quarantined;
     }
 
-    /// Records one iteration.
+    /// Records one iteration. A NaN/Inf observable quarantines the whole
+    /// iteration (all three statistics must stay count-aligned) instead of
+    /// poisoning the Welford accumulators irreversibly.
     pub fn push(&mut self, o: IterationOutcome) {
+        let finite = o.pof_total.is_finite() && o.pof_seu.is_finite() && o.pof_mbu.is_finite();
+        if !finite {
+            self.quarantined += 1;
+            return;
+        }
         self.total.push(o.pof_total);
         self.seu.push(o.pof_seu);
         self.mbu.push(o.pof_mbu);
@@ -126,7 +138,9 @@ impl ArrayPofEstimate {
 /// assert!((o.pof_mbu - 0.25).abs() < 1e-12);
 /// ```
 pub fn combine_cell_pofs(pofs: &[f64]) -> IterationOutcome {
-    debug_assert!(pofs.iter().all(|p| (0.0..=1.0).contains(p)));
+    // NaN entries are allowed and propagate into the outcome, where the
+    // accumulator-level quarantine rejects the whole iteration.
+    debug_assert!(pofs.iter().all(|p| p.is_nan() || (0.0..=1.0).contains(p)));
     // Eq. 4: POF_tot = 1 − Π (1 − p_i)
     let prod_all: f64 = pofs.iter().map(|p| 1.0 - p).product();
     let pof_total = 1.0 - prod_all;
@@ -326,10 +340,13 @@ impl<'a> StrikeSimulator<'a> {
                     energy_left -= outcome.deposited;
                     outcome.pairs
                 }
-                DepositMode::LutMean => {
-                    let lut = self.lut.expect("checked at construction");
-                    lut.mean_pairs(energy_left).round().max(0.0) as u64
-                }
+                DepositMode::LutMean => match self.lut {
+                    Some(lut) => lut.mean_pairs(energy_left).round().max(0.0) as u64,
+                    // The constructor enforces a LUT in LutMean mode; an
+                    // impossible miss deposits nothing rather than
+                    // panicking mid-campaign.
+                    None => 0,
+                },
             };
             if pairs == 0 {
                 continue;
@@ -410,10 +427,14 @@ impl<'a> StrikeSimulator<'a> {
         let mut pofs: Vec<f64> = Vec::with_capacity(per_cell.len());
         for (_cell, hit) in per_cell {
             let combo = StrikeCombo::new(&hit.targets);
-            let curve: &PofCurve = self
-                .pof
-                .curve(combo)
-                .unwrap_or_else(|| panic!("combo {combo} not characterized"));
+            let Some(curve): Option<&PofCurve> = self.pof.curve(combo) else {
+                // An uncharacterized combo cannot yield a probability.
+                // Surface the iteration as a poisoned sample so the
+                // accumulator-level NaN quarantine counts it instead of
+                // panicking mid-campaign or silently skipping the cell.
+                pofs.push(f64::NAN);
+                continue;
+            };
             // Multi-fin cells: approximate the sum of per-fin Moyal deposits
             // by a single Moyal with summed mean and quadrature-summed
             // scale (exact for the dominant single-fin case).
@@ -519,7 +540,12 @@ impl<'a> StrikeSimulator<'a> {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("strike worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Forward the worker's own panic payload instead of
+                    // replacing it with a generic message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
 

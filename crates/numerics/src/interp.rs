@@ -82,11 +82,13 @@ impl LinearTable {
 
     /// Interpolated value at `x`; clamps outside the covered range.
     pub fn eval(&self, x: f64) -> f64 {
+        // The constructor guarantees at least two points.
+        let n = self.xs.len();
         if x <= self.xs[0] {
             return self.ys[0];
         }
-        if x >= *self.xs.last().expect("non-empty") {
-            return *self.ys.last().expect("non-empty");
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
         }
         let i = segment(&self.xs, x);
         let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
@@ -95,7 +97,7 @@ impl LinearTable {
 
     /// The covered abscissa range `(min, max)`.
     pub fn domain(&self) -> (f64, f64) {
-        (self.xs[0], *self.xs.last().expect("non-empty"))
+        (self.xs[0], self.xs[self.xs.len() - 1])
     }
 
     /// Borrowed view of the abscissae.
@@ -167,12 +169,14 @@ impl LogLogTable {
     /// Panics if `x` is not strictly positive.
     pub fn eval(&self, x: f64) -> f64 {
         assert!(x > 0.0, "log-log evaluation requires x > 0, got {x}");
+        // The constructor guarantees at least two points.
+        let n = self.log_xs.len();
         let lx = x.log10();
         if lx <= self.log_xs[0] {
             return 10f64.powf(self.log_ys[0]);
         }
-        if lx >= *self.log_xs.last().expect("non-empty") {
-            return 10f64.powf(*self.log_ys.last().expect("non-empty"));
+        if lx >= self.log_xs[n - 1] {
+            return 10f64.powf(self.log_ys[n - 1]);
         }
         let i = segment(&self.log_xs, lx);
         let t = (lx - self.log_xs[i]) / (self.log_xs[i + 1] - self.log_xs[i]);
@@ -183,7 +187,7 @@ impl LogLogTable {
     pub fn domain(&self) -> (f64, f64) {
         (
             10f64.powf(self.log_xs[0]),
-            10f64.powf(*self.log_xs.last().expect("non-empty")),
+            10f64.powf(self.log_xs[self.log_xs.len() - 1]),
         )
     }
 }

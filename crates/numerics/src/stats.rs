@@ -53,6 +53,35 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Adds one observation only if it is finite, returning whether it was
+    /// accepted. This is the NaN/Inf quarantine boundary for Monte-Carlo
+    /// accumulators: a single poisoned sample pushed through [`push`]
+    /// would corrupt the mean and variance irreversibly, so callers that
+    /// cannot rule out poisoned inputs must use this and count rejections.
+    ///
+    /// [`push`]: RunningStats::push
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use finrad_numerics::stats::RunningStats;
+    ///
+    /// let mut s = RunningStats::new();
+    /// assert!(s.push_finite(1.0));
+    /// assert!(!s.push_finite(f64::NAN));
+    /// assert!(!s.push_finite(f64::INFINITY));
+    /// assert_eq!(s.count(), 1);
+    /// assert_eq!(s.mean(), 1.0);
+    /// ```
+    pub fn push_finite(&mut self, x: f64) -> bool {
+        if x.is_finite() {
+            self.push(x);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Merges another accumulator into this one (Chan's parallel update).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {

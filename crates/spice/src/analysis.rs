@@ -8,6 +8,7 @@
 //! picosecond-settling dynamics of an SRAM upset demand.
 
 use crate::circuit::Circuit;
+use crate::recovery::{RecoveryRung, RecoveryTrace};
 use crate::waveform::{Probe, TransientResult};
 use crate::{NodeId, SpiceError};
 use finrad_numerics::matrix::{LuFactors, Matrix};
@@ -32,6 +33,13 @@ pub struct NewtonOptions {
     /// Maximum number of times a failing transient step is halved before
     /// giving up (SPICE-style timestep rejection).
     pub max_step_halvings: u32,
+    /// Absolute floor on the transient timestep, seconds: a rejected step
+    /// is never halved below this, so the rejection cascade terminates
+    /// with diagnostics instead of burrowing into denormal timesteps.
+    /// The default (1e-21 s) sits well below any physical plan's
+    /// `dt / 2^max_step_halvings`, so it only backstops pathological
+    /// plans.
+    pub min_dt: f64,
 }
 
 impl Default for NewtonOptions {
@@ -43,6 +51,7 @@ impl Default for NewtonOptions {
             gmin: 1.0e-12,
             v_clamp: (-2.0, 3.0),
             max_step_halvings: 12,
+            min_dt: 1.0e-21,
         }
     }
 }
@@ -183,7 +192,7 @@ impl<'c> Assembler<'c> {
                 if let Some(g) = ig {
                     j.add_at(d, g, ss.did_dvg);
                 }
-                j.add_at(d, id_.expect("drain row"), ss.did_dvd);
+                j.add_at(d, d, ss.did_dvd);
                 if let Some(s) = is_ {
                     j.add_at(d, s, ss.did_dvs);
                 }
@@ -215,6 +224,17 @@ impl<'c> Assembler<'c> {
         gmin: f64,
         context: &str,
     ) -> Result<(Vec<f64>, Vec<f64>), SpiceError> {
+        #[cfg(feature = "fault-injection")]
+        if crate::fault::take_nonconvergence() {
+            return Err(SpiceError::NoConvergence {
+                context: format!("{context} [injected fault]"),
+                iterations: 0,
+                last_delta: f64::INFINITY,
+                worst_residual: f64::INFINITY,
+                rungs: Vec::new(),
+            });
+        }
+
         let mut v = v_guess.to_vec();
         let mut branch = vec![0.0; self.ckt.vsource_count()];
         let mut last_delta = f64::INFINITY;
@@ -256,13 +276,50 @@ impl<'c> Assembler<'c> {
             context: context.to_owned(),
             iterations: opts.max_iter,
             last_delta,
+            worst_residual: self.worst_residual(&v, &branch, cap_state, time, gmin),
+            rungs: Vec::new(),
         })
+    }
+
+    /// Worst-node KCL residual `max |J·x − b|` of the linearized system at
+    /// the given iterate — the actionable "how far from a solution were
+    /// we" number attached to convergence failures.
+    fn worst_residual(
+        &self,
+        v: &[f64],
+        branch: &[f64],
+        cap_state: Option<(f64, &[f64])>,
+        time: f64,
+        gmin: f64,
+    ) -> f64 {
+        let (j, b) = self.assemble(v, cap_state, time, gmin);
+        let mut x = vec![0.0; self.dim];
+        for n in 1..self.n_nodes {
+            x[n - 1] = v[n];
+        }
+        for (k, &i) in branch.iter().enumerate() {
+            x[self.branch_idx(k)] = i;
+        }
+        match j.mul_vec(&x) {
+            Ok(jx) => jx
+                .iter()
+                .zip(&b)
+                .map(|(a, r)| (a - r).abs())
+                .fold(0.0, f64::max),
+            Err(_) => f64::NAN,
+        }
     }
 }
 
 /// Advances the transient solution from `t` to `t + dt`, recursively
 /// halving the step (SPICE-style timestep rejection) when Newton fails —
 /// the remedy for steps that straddle the cell's metastable transition.
+///
+/// The cascade is bounded twice: by `opts.max_step_halvings` and by the
+/// absolute floor `opts.min_dt`. Hitting either bound fails with the
+/// rejected step's full diagnostics (time, dt, depth, floor) attached to
+/// the error instead of a context-free `NoConvergence`; every halving is
+/// recorded in `trace`.
 fn advance_step(
     asm: &Assembler<'_>,
     v: Vec<f64>,
@@ -270,6 +327,7 @@ fn advance_step(
     dt: f64,
     opts: &NewtonOptions,
     depth: u32,
+    trace: &mut RecoveryTrace,
 ) -> Result<Vec<f64>, SpiceError> {
     match asm.newton(
         &v,
@@ -281,12 +339,48 @@ fn advance_step(
     ) {
         Ok((vn, _branch)) => Ok(vn),
         Err(e) => {
-            if depth >= opts.max_step_halvings {
-                return Err(e);
-            }
             let half = dt / 2.0;
-            let mid = advance_step(asm, v, t, half, opts, depth + 1)?;
-            advance_step(asm, mid, t + half, half, opts, depth + 1)
+            if depth >= opts.max_step_halvings || half < opts.min_dt {
+                trace.record(
+                    RecoveryRung::ReducedTimestep,
+                    false,
+                    format!(
+                        "step rejected at t = {t:.6e} s: dt = {dt:.3e} s after {depth} \
+                         halving(s), floor {:.3e} s, budget {}",
+                        opts.min_dt, opts.max_step_halvings
+                    ),
+                );
+                return Err(match e {
+                    SpiceError::NoConvergence {
+                        context,
+                        iterations,
+                        last_delta,
+                        worst_residual,
+                        ..
+                    } => SpiceError::NoConvergence {
+                        context: format!(
+                            "{context} (t = {t:.6e} s, dt = {dt:.3e} s, {depth} halving(s), \
+                             floor {:.3e} s)",
+                            opts.min_dt
+                        ),
+                        iterations,
+                        last_delta,
+                        worst_residual,
+                        rungs: vec![RecoveryRung::ReducedTimestep],
+                    },
+                    other => other,
+                });
+            }
+            trace.record(
+                RecoveryRung::ReducedTimestep,
+                true,
+                format!(
+                    "halved dt to {half:.3e} s at t = {t:.6e} s (depth {})",
+                    depth + 1
+                ),
+            );
+            let mid = advance_step(asm, v, t, half, opts, depth + 1, trace)?;
+            advance_step(asm, mid, t + half, half, opts, depth + 1, trace)
         }
     }
 }
@@ -331,38 +425,78 @@ pub fn dc_operating_point_from(
     opts: &NewtonOptions,
     guess: &HashMap<NodeId, f64>,
 ) -> Result<OpPoint, SpiceError> {
+    dc_operating_point_with_recovery(ckt, opts, guess).map(|(op, _trace)| op)
+}
+
+/// Like [`dc_operating_point_from`] but additionally returning the
+/// [`RecoveryTrace`] of the convergence-recovery ladder: direct solve →
+/// g-min stepping → source stepping (see [`crate::recovery`]). The trace
+/// records every rung attempted, so callers and logs see what was retried
+/// and why; when all rungs fail, the terminal
+/// [`SpiceError::NoConvergence`] carries the attempted rungs.
+///
+/// # Errors
+///
+/// Same as [`dc_operating_point`], after all rungs are exhausted.
+pub fn dc_operating_point_with_recovery(
+    ckt: &Circuit,
+    opts: &NewtonOptions,
+    guess: &HashMap<NodeId, f64>,
+) -> Result<(OpPoint, RecoveryTrace), SpiceError> {
     ckt.validate()?;
     let asm = Assembler::new(ckt);
-    let mut v = vec![0.0; ckt.node_count()];
+    let mut trace = RecoveryTrace::new();
+    let mut v0 = vec![0.0; ckt.node_count()];
     for (&node, &val) in guess {
-        v[node.index()] = val;
+        v0[node.index()] = val;
     }
 
-    // A direct solve from the guess preserves the basin of attraction of
-    // bistable circuits (an SRAM cell's state); g-min stepping below is the
-    // fallback for cold starts, where the strong initial leak would
-    // otherwise wash the guess out.
-    if let Ok((vn, branch)) = asm.newton(&v, None, 0.0, opts, opts.gmin, "dc operating point") {
-        return Ok(OpPoint {
-            node_voltages: vn,
-            vsource_currents: branch,
-        });
+    // Rung 1 — direct solve from the guess: preserves the basin of
+    // attraction of bistable circuits (an SRAM cell's state); the rungs
+    // below are fallbacks for cold starts, where the strong initial leak
+    // or the supply ramp would wash the guess out.
+    match asm.newton(&v0, None, 0.0, opts, opts.gmin, "dc operating point") {
+        Ok((vn, branch)) => {
+            trace.record(RecoveryRung::Direct, true, "converged from initial guess");
+            return Ok((
+                OpPoint {
+                    node_voltages: vn,
+                    vsource_currents: branch,
+                },
+                trace,
+            ));
+        }
+        Err(e) => trace.record(RecoveryRung::Direct, false, e.to_string()),
     }
 
+    // Rung 2 — g-min stepping: solve with a strong leak to ground, relax
+    // it geometrically to opts.gmin, warm-starting each stage.
+    let mut v = v0.clone();
     let mut result = None;
+    let mut last_err: Option<SpiceError> = None;
     let mut gmin = 1.0e-3f64;
+    let mut stages = 0u32;
     loop {
         gmin = gmin.max(opts.gmin);
-        match asm.newton(&v, None, 0.0, opts, gmin, "dc operating point") {
+        stages += 1;
+        match asm.newton(
+            &v,
+            None,
+            0.0,
+            opts,
+            gmin,
+            "dc operating point (gmin stepping)",
+        ) {
             Ok((vn, branch)) => {
                 v = vn.clone();
                 result = Some((vn, branch));
             }
             Err(e) => {
                 // A failed intermediate stage is tolerable; a failed final
-                // stage is fatal.
+                // stage fails the rung.
                 if gmin <= opts.gmin {
-                    return Err(e);
+                    result = None;
+                    last_err = Some(e);
                 }
             }
         }
@@ -371,14 +505,109 @@ pub fn dc_operating_point_from(
         }
         gmin *= 1.0e-3;
     }
-    let (vn, branch) = result.ok_or(SpiceError::NoConvergence {
-        context: "dc operating point".to_owned(),
+    match result {
+        Some((vn, branch)) => {
+            trace.record(
+                RecoveryRung::GminStepping,
+                true,
+                format!("converged after {stages} gmin stage(s)"),
+            );
+            return Ok((
+                OpPoint {
+                    node_voltages: vn,
+                    vsource_currents: branch,
+                },
+                trace,
+            ));
+        }
+        None => trace.record(
+            RecoveryRung::GminStepping,
+            false,
+            last_err
+                .as_ref()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no stage converged".to_owned()),
+        ),
+    }
+
+    // Rung 3 — source stepping: ramp every voltage source from 0 V to its
+    // target in fixed fractions, warm-starting each step from the last.
+    const RAMP_STEPS: usize = 8;
+    let targets: Vec<f64> = ckt.vsources.iter().map(|s| s.volts).collect();
+    let mut ramped = ckt.clone();
+    let mut v = vec![0.0; ckt.node_count()];
+    let mut last: Option<(Vec<f64>, Vec<f64>)> = None;
+    let mut fail: Option<SpiceError> = None;
+    for i in 1..=RAMP_STEPS {
+        let alpha = i as f64 / RAMP_STEPS as f64;
+        for (s, &t) in ramped.vsources.iter_mut().zip(&targets) {
+            s.volts = t * alpha;
+        }
+        let asm_ramp = Assembler::new(&ramped);
+        match asm_ramp.newton(
+            &v,
+            None,
+            0.0,
+            opts,
+            opts.gmin,
+            "dc operating point (source stepping)",
+        ) {
+            Ok((vn, branch)) => {
+                v = vn.clone();
+                last = Some((vn, branch));
+            }
+            Err(e) => {
+                trace.record(
+                    RecoveryRung::SourceStepping,
+                    false,
+                    format!("ramp failed at {:.0}% supply: {e}", alpha * 100.0),
+                );
+                fail = Some(e);
+                break;
+            }
+        }
+    }
+    if fail.is_none() {
+        if let Some((vn, branch)) = last {
+            trace.record(
+                RecoveryRung::SourceStepping,
+                true,
+                format!("converged after {RAMP_STEPS}-step supply ramp"),
+            );
+            return Ok((
+                OpPoint {
+                    node_voltages: vn,
+                    vsource_currents: branch,
+                },
+                trace,
+            ));
+        }
+    }
+
+    // Ladder exhausted: attach the attempted rungs to the terminal error.
+    let rungs = trace.rungs_attempted();
+    let terminal = fail.unwrap_or(SpiceError::NoConvergence {
+        context: "dc operating point (source stepping)".to_owned(),
         iterations: opts.max_iter,
         last_delta: f64::NAN,
-    })?;
-    Ok(OpPoint {
-        node_voltages: vn,
-        vsource_currents: branch,
+        worst_residual: f64::NAN,
+        rungs: Vec::new(),
+    });
+    Err(match terminal {
+        SpiceError::NoConvergence {
+            context,
+            iterations,
+            last_delta,
+            worst_residual,
+            ..
+        } => SpiceError::NoConvergence {
+            context,
+            iterations,
+            last_delta,
+            worst_residual,
+            rungs,
+        },
+        other => other,
     })
 }
 
@@ -463,8 +692,28 @@ pub fn transient(
     probes: &[NodeId],
     opts: &NewtonOptions,
 ) -> Result<TransientResult, SpiceError> {
+    transient_with_trace(ckt, plan, initial_conditions, probes, opts).map(|(res, _trace)| res)
+}
+
+/// Like [`transient`] but additionally returning the [`RecoveryTrace`] of
+/// timestep rejections: every halving (and the terminal rejection, if the
+/// halving cascade hits `opts.max_step_halvings` or the `opts.min_dt`
+/// floor) is recorded, so callers see which steps were retried instead of
+/// silent recursive halving.
+///
+/// # Errors
+///
+/// Same as [`transient`].
+pub fn transient_with_trace(
+    ckt: &Circuit,
+    plan: &TimeStepPlan,
+    initial_conditions: &HashMap<NodeId, f64>,
+    probes: &[NodeId],
+    opts: &NewtonOptions,
+) -> Result<(TransientResult, RecoveryTrace), SpiceError> {
     ckt.validate()?;
     let asm = Assembler::new(ckt);
+    let mut trace = RecoveryTrace::new();
 
     let mut v = vec![0.0; ckt.node_count()];
     for (&node, &val) in initial_conditions {
@@ -486,13 +735,13 @@ pub fn transient(
     for phase in plan.phases() {
         let steps = (phase.duration / phase.dt).round().max(1.0) as usize;
         for _ in 0..steps {
-            v = advance_step(&asm, v, t, phase.dt, opts, 0)?;
+            v = advance_step(&asm, v, t, phase.dt, opts, 0, &mut trace)?;
             t += phase.dt;
             result.push_sample(t, probes.iter().map(|&n| v[n.index()]));
         }
     }
     result.set_final_voltages(v);
-    Ok(result)
+    Ok((result, trace))
 }
 
 #[cfg(test)]

@@ -1,0 +1,66 @@
+//! Deterministic fault-injection hooks (compiled only with the
+//! `fault-injection` feature).
+//!
+//! The robustness test-suite needs to force solver failures at precise,
+//! reproducible points. The injector is a process-global countdown armed
+//! by the test: after letting `skip` Newton solves through it forces the
+//! next `count` solves to fail with [`SpiceError::NoConvergence`] before
+//! disarming itself. Default builds do not compile this module, so the
+//! production solver carries no hook points.
+//!
+//! The counters are process-global: tests that arm the injector must
+//! serialize themselves (e.g. behind a shared mutex) so concurrently
+//! running tests do not consume each other's injected failures.
+//!
+//! [`SpiceError::NoConvergence`]: crate::SpiceError::NoConvergence
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SKIP: AtomicU64 = AtomicU64::new(0);
+static REMAINING: AtomicU64 = AtomicU64::new(0);
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the injector: the next `skip` Newton solves run normally, then the
+/// following `count` solves fail with an injected
+/// [`NoConvergence`](crate::SpiceError::NoConvergence).
+pub fn arm_nonconvergence(skip: u64, count: u64) {
+    SKIP.store(skip, Ordering::SeqCst);
+    REMAINING.store(count, Ordering::SeqCst);
+}
+
+/// Disarms the injector (idempotent).
+pub fn disarm() {
+    SKIP.store(0, Ordering::SeqCst);
+    REMAINING.store(0, Ordering::SeqCst);
+}
+
+/// Total failures injected since process start (monotonic; survives
+/// re-arming).
+pub fn injected_count() -> u64 {
+    INJECTED.load(Ordering::SeqCst)
+}
+
+/// Hook called at the top of every Newton solve; `true` means this solve
+/// must fail.
+pub(crate) fn take_nonconvergence() -> bool {
+    if REMAINING.load(Ordering::SeqCst) == 0 {
+        return false;
+    }
+    // Consume a skip if any remain; only when the skip budget is exhausted
+    // does the solve draw from the failure budget.
+    if SKIP
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| s.checked_sub(1))
+        .is_ok()
+    {
+        return false;
+    }
+    if REMAINING
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
+        .is_ok()
+    {
+        INJECTED.fetch_add(1, Ordering::SeqCst);
+        true
+    } else {
+        false
+    }
+}

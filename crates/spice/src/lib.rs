@@ -39,10 +39,14 @@
 
 pub mod analysis;
 mod circuit;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+pub mod recovery;
 pub mod source;
 pub mod waveform;
 
 pub use circuit::{Circuit, MosfetId, NodeId};
+pub use recovery::{RecoveryAttempt, RecoveryRung, RecoveryTrace};
 pub use source::{PulseShape, SourceWaveform};
 
 use std::error::Error;
@@ -59,6 +63,12 @@ pub enum SpiceError {
         iterations: usize,
         /// Last maximum voltage update, volts.
         last_delta: f64,
+        /// Worst-node KCL residual `max |J·x − b|` at the final iterate,
+        /// amps (NaN when the residual itself could not be evaluated).
+        worst_residual: f64,
+        /// Recovery rungs attempted before giving up, in order (empty when
+        /// the failure surfaced without entering the recovery ladder).
+        rungs: Vec<RecoveryRung>,
     },
     /// The MNA matrix was singular (usually a floating subcircuit).
     Singular {
@@ -76,10 +86,25 @@ impl fmt::Display for SpiceError {
                 context,
                 iterations,
                 last_delta,
-            } => write!(
-                f,
-                "newton iteration did not converge during {context} ({iterations} iterations, last |dV| = {last_delta:.3e} V)"
-            ),
+                worst_residual,
+                rungs,
+            } => {
+                write!(
+                    f,
+                    "newton iteration did not converge during {context} ({iterations} iterations, \
+                     last |dV| = {last_delta:.3e} V, worst residual {worst_residual:.3e} A"
+                )?;
+                if !rungs.is_empty() {
+                    write!(f, "; rungs attempted: ")?;
+                    for (i, r) in rungs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " -> ")?;
+                        }
+                        write!(f, "{r}")?;
+                    }
+                }
+                write!(f, ")")
+            }
             SpiceError::Singular { context } => {
                 write!(f, "singular MNA system during {context}")
             }

@@ -295,7 +295,12 @@ impl CellCharacterizer {
                     }
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("worker panicked"))
+                        .map(|h| match h.join() {
+                            Ok(r) => r,
+                            // Forward the worker's own panic payload instead
+                            // of replacing it with a generic message.
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
                         .collect()
                 });
                 let mut qs = Vec::with_capacity(samples);

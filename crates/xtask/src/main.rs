@@ -5,6 +5,7 @@
 //! cargo xtask lint --deny-all       # CI mode: also fail on stale baseline
 //! cargo xtask lint --fix-allowlist  # rewrite xtask/lint-baseline.toml
 //! cargo xtask lint --json <path|->  # machine-readable report
+//! cargo xtask lint --max <lint>=<N> # fail when a class's total exceeds N
 //! ```
 
 #![forbid(unsafe_code)]
@@ -33,12 +34,14 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask lint [--deny-all] [--fix-allowlist] [--json <path|->]";
+const USAGE: &str = "usage: cargo xtask lint [--deny-all] [--fix-allowlist] [--json <path|->] \
+[--max <lint>=<N>]";
 
 fn lint_command(args: &[String]) -> ExitCode {
     let mut deny_all = false;
     let mut fix_allowlist = false;
     let mut json_target: Option<String> = None;
+    let mut max_caps: Vec<(LintId, usize)> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -48,6 +51,13 @@ fn lint_command(args: &[String]) -> ExitCode {
                 Some(target) => json_target = Some(target.clone()),
                 None => {
                     eprintln!("--json needs a path (or `-` for stdout)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max" => match it.next().and_then(|spec| parse_max(spec)) {
+                Some(cap) => max_caps.push(cap),
+                None => {
+                    eprintln!("--max needs `<lint>=<N>` (e.g. --max panic-freedom=8)\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -119,7 +129,22 @@ fn lint_command(args: &[String]) -> ExitCode {
 
     let baseline_has_rng = base.has_lint(LintId::RngDeterminism);
     let stale_fatal = deny_all && !check.stale.is_empty();
-    let pass = check.new_violations.is_empty() && !stale_fatal && !baseline_has_rng;
+
+    // Total-budget ratchet: `--max <lint>=<N>` fails the run when the
+    // observed total for that class (baselined or not) exceeds N, so a
+    // regression cannot hide behind a refreshed per-file baseline.
+    let mut cap_breaches = Vec::new();
+    for (id, cap) in &max_caps {
+        let observed = scan.violations.iter().filter(|v| v.lint == *id).count();
+        if observed > *cap {
+            cap_breaches.push((*id, *cap, observed));
+        }
+    }
+
+    let pass = check.new_violations.is_empty()
+        && !stale_fatal
+        && !baseline_has_rng
+        && cap_breaches.is_empty();
 
     if let Some(target) = &json_target {
         let json = report::to_json(scan.files_scanned, pass, &check);
@@ -153,6 +178,13 @@ fn lint_command(args: &[String]) -> ExitCode {
              not budgeted"
         );
     }
+    for (id, cap, observed) in &cap_breaches {
+        println!(
+            "error: [{id}] total budget exceeded: {observed} observed > cap {cap} \
+             (--max {}={cap})",
+            id.as_str()
+        );
+    }
 
     println!(
         "lint: {} file(s), {} new violation(s), {} baselined, {} stale budget(s){}",
@@ -168,6 +200,13 @@ fn lint_command(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Parses a `--max` spec of the form `<lint>=<N>`.
+fn parse_max(spec: &str) -> Option<(LintId, usize)> {
+    let (name, count) = spec.split_once('=')?;
+    let id = *LintId::ALL.iter().find(|id| id.as_str() == name)?;
+    Some((id, count.parse().ok()?))
 }
 
 /// The workspace root: two levels above this crate's manifest directory.

@@ -50,13 +50,18 @@ pub use finrad_units as units;
 /// The most common imports for application code.
 pub mod prelude {
     pub use finrad_core::array::{DataPattern, MemoryArray};
-    pub use finrad_core::fit::{fit_rate, FitRate, PofBin};
+    pub use finrad_core::campaign::{
+        BinOutcome, CampaignConfig, CampaignError, CampaignReport, CampaignRunner, CampaignStatus,
+        Coverage,
+    };
+    pub use finrad_core::checkpoint::{Checkpoint, CheckpointError};
+    pub use finrad_core::fit::{fit_rate, fit_rate_checked, FitRate, PofBin};
     pub use finrad_core::pipeline::{PipelineConfig, SerPipeline, SerReport};
     pub use finrad_core::strike::{DepositMode, DirectionLaw, FlipModel, StrikeSimulator};
     pub use finrad_core::CoreError;
     pub use finrad_environment::{AlphaSpectrum, NeutronSpectrum, ProtonSpectrum, Spectrum};
     pub use finrad_finfet::{FinFet, Polarity, Technology, VariationModel};
-    pub use finrad_spice::{Circuit, PulseShape, SourceWaveform};
+    pub use finrad_spice::{Circuit, PulseShape, RecoveryRung, RecoveryTrace, SourceWaveform};
     pub use finrad_sram::{
         CellCharacterizer, CellState, CharacterizeOptions, PofCurve, PofTable, SramCell,
         StrikeCombo, StrikeTarget, TransistorRole, Variation,
