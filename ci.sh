@@ -16,7 +16,11 @@ cargo test -q --offline --features fault-injection --test fault_injection
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo xtask lint --deny-all --max panic-freedom=8"
-cargo xtask lint --deny-all --max panic-freedom=8
+echo "==> cargo xtask lint --deny-all --max panic-freedom=0"
+cargo xtask lint --deny-all --max panic-freedom=0
+
+echo "==> cargo xtask bench --smoke (trajectory schema gate)"
+cargo xtask bench --smoke --out target/BENCH_smoke.json
+cargo xtask bench --check target/BENCH_smoke.json
 
 echo "CI gate passed."

@@ -1,0 +1,36 @@
+//! Runs the smoke-scale SER pipeline with the in-memory metrics recorder
+//! installed and prints the resulting snapshot as one machine-readable
+//! `METRICSJSON {...}` line (plus a human-readable table).
+//!
+//! `cargo xtask bench` scrapes the `METRICSJSON` line to embed pipeline
+//! counters (Newton iterations, strike-MC throughput, …) into the
+//! `BENCH_<n>.json` trajectory file; see `docs/observability.md`.
+
+use finrad_core::pipeline::{PipelineConfig, SerPipeline};
+use finrad_units::{Particle, Voltage};
+
+fn main() {
+    let recorder = match finrad_observe::install_in_memory() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let pipeline = SerPipeline::new(PipelineConfig::smoke_test());
+    if let Err(e) = pipeline.run(Particle::Alpha, Voltage::from_volts(0.8)) {
+        eprintln!("error: smoke pipeline failed: {e}");
+        std::process::exit(1);
+    }
+
+    let snapshot = recorder.snapshot();
+    println!("# pipeline metrics (smoke-scale alpha run at 0.8 V)");
+    for (key, value) in &snapshot.counters {
+        println!("{key:<40} {value:>16}");
+    }
+    for (key, h) in &snapshot.histograms {
+        println!("{key:<40} {:>16.6e} (n={}, mean)", h.mean(), h.count);
+    }
+    println!("METRICSJSON {}", snapshot.to_json());
+}

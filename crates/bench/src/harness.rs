@@ -7,7 +7,9 @@
 //! printed as `name ... <ns>/iter`.
 //!
 //! The per-benchmark time budget defaults to 300 ms and can be changed with
-//! the `FINRAD_BENCH_MS` environment variable.
+//! the `FINRAD_BENCH_MS` environment variable (whole milliseconds, e.g.
+//! `FINRAD_BENCH_MS=50`). A malformed value is rejected loudly: a warning
+//! is printed to stderr and the documented 300 ms default is used.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -36,20 +38,27 @@ impl Default for Harness {
 
 impl Harness {
     /// Builds a harness with the budget from `FINRAD_BENCH_MS` (default
-    /// 300 ms per benchmark).
+    /// 300 ms per benchmark). A malformed value does not silently become
+    /// the default: a warning goes to stderr first.
     pub fn from_env() -> Self {
-        let ms = std::env::var("FINRAD_BENCH_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(300);
+        let raw = std::env::var("FINRAD_BENCH_MS").ok();
+        let (ms, warning) = parse_bench_ms(raw.as_deref());
+        if let Some(w) = warning {
+            eprintln!("warning: {w}");
+        }
         Self {
-            budget: Duration::from_millis(ms.max(1)),
+            budget: Duration::from_millis(ms),
         }
     }
 
     /// Runs one named benchmark. The closure receives a [`Bencher`] and
     /// must call [`Bencher::iter`] or [`Bencher::iter_batched`] exactly
     /// once.
+    ///
+    /// Besides the human-readable line, setting `FINRAD_BENCH_JSON=1`
+    /// emits one machine-readable `BENCHJSON {...}` line per benchmark;
+    /// `cargo xtask bench` scrapes these to build the `BENCH_<n>.json`
+    /// trajectory file (see `docs/observability.md`).
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
         let mut b = Bencher {
             budget: self.budget,
@@ -63,6 +72,59 @@ impl Harness {
             0
         };
         println!("{name:<40} {per:>12} ns/iter  ({} iters)", b.iters);
+        if std::env::var("FINRAD_BENCH_JSON").as_deref() == Ok("1") {
+            println!(
+                "BENCHJSON {{\"name\":{},\"ns_per_iter\":{per},\"iters\":{}}}",
+                json_escape(name),
+                b.iters
+            );
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Default per-benchmark budget when `FINRAD_BENCH_MS` is unset or
+/// malformed.
+pub const DEFAULT_BENCH_MS: u64 = 300;
+
+/// Parses a `FINRAD_BENCH_MS` value into a budget in milliseconds.
+///
+/// Unset means the documented [`DEFAULT_BENCH_MS`]; a value that is not a
+/// whole number of milliseconds also falls back to the default but returns
+/// a warning for the caller to surface (the old behaviour silently
+/// swallowed typos like `FINRAD_BENCH_MS=0.5s`). A parsed `0` is clamped
+/// to 1 ms so the calibration loop always has a budget.
+fn parse_bench_ms(raw: Option<&str>) -> (u64, Option<String>) {
+    match raw {
+        None => (DEFAULT_BENCH_MS, None),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(ms) => (ms.max(1), None),
+            Err(_) => (
+                DEFAULT_BENCH_MS,
+                Some(format!(
+                    "FINRAD_BENCH_MS={v:?} is not a whole number of milliseconds; \
+                     using the default {DEFAULT_BENCH_MS} ms"
+                )),
+            ),
+        },
     }
 }
 
@@ -138,6 +200,25 @@ impl Bencher {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_ms_parses_valid_values() {
+        assert_eq!(parse_bench_ms(None), (DEFAULT_BENCH_MS, None));
+        assert_eq!(parse_bench_ms(Some("50")), (50, None));
+        assert_eq!(parse_bench_ms(Some(" 50 ")), (50, None));
+        // Zero is clamped so the calibration loop has a budget.
+        assert_eq!(parse_bench_ms(Some("0")), (1, None));
+    }
+
+    #[test]
+    fn bench_ms_rejects_malformed_values_loudly() {
+        for bad in ["0.5s", "abc", "", "-3", "1e3"] {
+            let (ms, warning) = parse_bench_ms(Some(bad));
+            assert_eq!(ms, DEFAULT_BENCH_MS, "fallback for {bad:?}");
+            let w = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(w.contains("FINRAD_BENCH_MS"), "warning names the var: {w}");
+        }
+    }
 
     #[test]
     fn iter_measures_something() {

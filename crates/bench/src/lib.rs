@@ -28,12 +28,18 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from the environment.
+    /// Reads the scale from the environment: `FINRAD_FULL=1` selects
+    /// [`Scale::Full`]; unset, empty or `0` selects [`Scale::Quick`]. Any
+    /// other value is malformed and is rejected loudly — a warning goes to
+    /// stderr and the quick scale (the documented default) is used, rather
+    /// than the old behaviour of treating arbitrary garbage as "full".
     pub fn from_env() -> Self {
-        match std::env::var("FINRAD_FULL") {
-            Ok(v) if v != "0" && !v.is_empty() => Scale::Full,
-            _ => Scale::Quick,
+        let raw = std::env::var("FINRAD_FULL").ok();
+        let (scale, warning) = parse_scale(raw.as_deref());
+        if let Some(w) = warning {
+            eprintln!("warning: {w}");
         }
+        scale
     }
 
     /// Variation Monte-Carlo sample count.
@@ -69,6 +75,24 @@ impl Scale {
     }
 }
 
+/// Parses a `FINRAD_FULL` value. Only `1` means full scale; unset, empty
+/// and `0` mean quick. Anything else yields quick plus a warning for the
+/// caller to print, so a typo like `FINRAD_FULL=yes` cannot silently start
+/// an hours-long paper-scale run.
+fn parse_scale(raw: Option<&str>) -> (Scale, Option<String>) {
+    match raw.map(str::trim) {
+        None | Some("") | Some("0") => (Scale::Quick, None),
+        Some("1") => (Scale::Full, None),
+        Some(other) => (
+            Scale::Quick,
+            Some(format!(
+                "FINRAD_FULL={other:?} is not recognized (use \"1\" for full scale, \
+                 \"0\" or unset for quick); using the quick scale"
+            )),
+        ),
+    }
+}
+
 /// The pipeline configuration used by the figure binaries at `scale`.
 pub fn figure_config(scale: Scale) -> PipelineConfig {
     let mut cfg = PipelineConfig::paper_baseline();
@@ -100,6 +124,25 @@ pub fn print_normalized_series(title: &str, x_label: &str, xs: &[f64], ys: &[f64
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_parses_documented_values() {
+        assert_eq!(parse_scale(None), (Scale::Quick, None));
+        assert_eq!(parse_scale(Some("")), (Scale::Quick, None));
+        assert_eq!(parse_scale(Some("0")), (Scale::Quick, None));
+        assert_eq!(parse_scale(Some("1")), (Scale::Full, None));
+        assert_eq!(parse_scale(Some(" 1 ")), (Scale::Full, None));
+    }
+
+    #[test]
+    fn scale_rejects_malformed_values_loudly() {
+        for bad in ["garbage", "yes", "true", "2", "full"] {
+            let (scale, warning) = parse_scale(Some(bad));
+            assert_eq!(scale, Scale::Quick, "fallback for {bad:?}");
+            let w = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(w.contains("FINRAD_FULL"), "warning names the var: {w}");
+        }
+    }
 
     #[test]
     fn quick_scale_is_smaller() {

@@ -361,9 +361,19 @@ impl CampaignRunner {
             // — the bit-identical-resume guarantee hangs on this.
             let seed = cfg.pipeline.seed.wrapping_add(0xB10C + k as u64 * 6271);
             let iterations = cfg.pipeline.iterations_per_energy;
+            let bin_timer = finrad_observe::span(finrad_observe::keys::CAMPAIGN_BIN_SECONDS);
             let result = catch_unwind(AssertUnwindSafe(|| {
                 sim.estimate(cfg.particle, sb.energy, iterations, seed)
             }));
+            drop(bin_timer);
+            finrad_observe::counter_add(
+                if result.is_ok() {
+                    finrad_observe::keys::CAMPAIGN_BINS_OK
+                } else {
+                    finrad_observe::keys::CAMPAIGN_BINS_FAILED
+                },
+                1,
+            );
             outcomes[k] = Some(match result {
                 Ok(est) => {
                     #[cfg(feature = "fault-injection")]

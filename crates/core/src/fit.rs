@@ -34,13 +34,41 @@ pub struct FitRate {
 }
 
 impl FitRate {
-    /// MBU/SEU ratio in percent (the paper's Fig. 10 axis).
+    /// MBU/SEU ratio in percent (the paper's Fig. 10 axis). Returns 0 when
+    /// there are no upsets at all and `f64::INFINITY` when MBU rate exists
+    /// without any SEU rate (see [`mbu_to_seu_ratio`]).
     pub fn mbu_to_seu_percent(&self) -> f64 {
-        if self.seu > 0.0 {
-            100.0 * self.mbu / self.seu
-        } else {
-            0.0
-        }
+        100.0 * mbu_to_seu_ratio(self.mbu, self.seu)
+    }
+}
+
+/// The MBU/SEU ratio used everywhere a Fig. 10-style quantity is reported
+/// ([`FitRate::mbu_to_seu_percent`], `SerReport::mbu_to_seu_percent`,
+/// `ArrayPofEstimate::mbu_to_seu`) — the single implementation all of them
+/// delegate to.
+///
+/// The `seu == 0` column needs care: an MBU-only spectrum (every upset
+/// flips several bits — grazing tracks on a small array can do this) used
+/// to report `0.0`, i.e. "no MBU", which is the exact opposite of the
+/// truth. The ratio is now `f64::INFINITY` in that case; only the truly
+/// empty `mbu == seu == 0` case reports 0.
+///
+/// # Examples
+///
+/// ```
+/// use finrad_core::fit::mbu_to_seu_ratio;
+///
+/// assert_eq!(mbu_to_seu_ratio(0.1, 0.4), 0.25);
+/// assert_eq!(mbu_to_seu_ratio(0.0, 0.0), 0.0);
+/// assert_eq!(mbu_to_seu_ratio(0.3, 0.0), f64::INFINITY);
+/// ```
+pub fn mbu_to_seu_ratio(mbu: f64, seu: f64) -> f64 {
+    if seu > 0.0 {
+        mbu / seu
+    } else if mbu > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
     }
 }
 

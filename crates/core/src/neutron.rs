@@ -17,7 +17,7 @@
 
 use crate::array::{clamp_pof, MemoryArray};
 use crate::fit::{fit_rate, FitRate, PofBin};
-use crate::strike::{combine_cell_pofs, ArrayPofEstimate, IterationOutcome};
+use crate::strike::{combine_cell_pofs, estimate_chunked, ArrayPofEstimate, IterationOutcome};
 use finrad_environment::{NeutronSpectrum, Spectrum};
 use finrad_geometry::trace::trace_boxes;
 use finrad_geometry::{sampling, Aabb, Ray, Vec3};
@@ -26,6 +26,7 @@ use finrad_sram::{PofTable, StrikeCombo, StrikeTarget};
 use finrad_transport::neutron::NeutronInteraction;
 use finrad_units::{constants, Charge, Energy, Length};
 use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
 
 /// Geometry of the neutron interaction volume around the array.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,7 +149,11 @@ impl<'a> NeutronSimulator<'a> {
             let targets: Vec<StrikeTarget> = hits.iter().map(|(t, _)| *t).collect();
             let combo = StrikeCombo::new(&targets);
             let total: f64 = hits.iter().map(|(_, q)| q).sum();
-            pofs.push(clamp_pof(self.pof.pof(combo, Charge::from_coulombs(total))));
+            // Uncharacterized combos are quarantined as NaN, not crashed on.
+            pofs.push(match self.pof.pof(combo, Charge::from_coulombs(total)) {
+                Some(p) => clamp_pof(p),
+                None => f64::NAN,
+            });
         }
         let outcome = combine_cell_pofs(&pofs);
         // Importance weight: the forced reaction actually happens with
@@ -163,49 +168,53 @@ impl<'a> NeutronSimulator<'a> {
 
     /// Runs `iterations` histories at one energy across worker threads.
     ///
+    /// RNG streams are derived per fixed-size logical chunk (see
+    /// [`crate::strike::MC_CHUNK_ITERATIONS`]), not per worker thread, so
+    /// same-seed results are bit-identical regardless of the host's core
+    /// count.
+    ///
     /// # Panics
     ///
     /// Panics if `iterations == 0`.
     pub fn estimate(&self, energy: Energy, iterations: u64, seed: u64) -> ArrayPofEstimate {
+        let threads = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
+        self.estimate_with_threads(energy, iterations, seed, threads)
+    }
+
+    /// [`Self::estimate`] with an explicit worker count; any `threads`
+    /// value yields the same bits (the knob exists for the determinism
+    /// regression test and callers with their own parallelism budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn estimate_with_threads(
+        &self,
+        energy: Energy,
+        iterations: u64,
+        seed: u64,
+        threads: NonZeroUsize,
+    ) -> ArrayPofEstimate {
         assert!(iterations > 0, "need at least one iteration");
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get() as u64)
-            .unwrap_or(1)
-            .min(iterations);
-        let chunk = iterations.div_ceil(n_threads);
-        let partials: Vec<ArrayPofEstimate> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..n_threads {
-                let start = w * chunk;
-                let end = ((w + 1) * chunk).min(iterations);
-                if start >= end {
-                    break;
-                }
-                let this = &self;
-                handles.push(scope.spawn(move || {
-                    let mut rng = Xoshiro256pp::seed_from_u64(
-                        seed ^ (w + 1).wrapping_mul(0xA076_1D64_78BD_642F),
-                    );
-                    let mut acc = ArrayPofEstimate::default();
-                    for _ in start..end {
-                        acc.push(this.simulate_one(energy, &mut rng));
-                    }
-                    acc
-                }));
+        let timer = finrad_observe::span(finrad_observe::keys::NEUTRON_ESTIMATE_SECONDS);
+        let out = estimate_chunked(iterations, threads, |chunk, len| {
+            let mut rng =
+                Xoshiro256pp::seed_from_u64(seed ^ (chunk + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut acc = ArrayPofEstimate::default();
+            for _ in 0..len {
+                acc.push(self.simulate_one(energy, &mut rng));
             }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    // Forward the worker's own panic payload instead of
-                    // replacing it with a generic message.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
+            finrad_observe::counter_add(finrad_observe::keys::NEUTRON_ITERATIONS, len);
+            acc
         });
-        let mut out = ArrayPofEstimate::default();
-        for p in &partials {
-            out.merge(p);
+        finrad_observe::counter_add(finrad_observe::keys::NEUTRON_QUARANTINED, out.quarantined);
+        if let Some(secs) = timer.elapsed_seconds() {
+            if secs > 0.0 {
+                finrad_observe::record(
+                    finrad_observe::keys::NEUTRON_ITERS_PER_SEC,
+                    iterations as f64 / secs,
+                );
+            }
         }
         out
     }
@@ -336,5 +345,30 @@ mod tests {
         let a = sim.estimate(Energy::from_mev(50.0), 2_000, 42);
         let b = sim.estimate(Energy::from_mev(50.0), 2_000, 42);
         assert_eq!(a.total.mean(), b.total.mean());
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        // Core-count regression (see strike.rs for the direct-ionization
+        // twin): a forced single-worker run must match the multi-worker
+        // run bit for bit.
+        let tech = Technology::soi_finfet_14nm();
+        let array = MemoryArray::build(&tech, 2, 2, DataPattern::Checkerboard);
+        let pof = table();
+        let sim = NeutronSimulator::new(
+            &array,
+            NeutronInteraction::silicon(),
+            &pof,
+            NeutronVolume::default(),
+        );
+        let e = Energy::from_mev(100.0);
+        let iters = 2 * crate::strike::MC_CHUNK_ITERATIONS + 57;
+        let single = sim.estimate_with_threads(e, iters, 11, NonZeroUsize::new(1).unwrap());
+        let multi = sim.estimate_with_threads(e, iters, 11, NonZeroUsize::new(5).unwrap());
+        let default = sim.estimate(e, iters, 11);
+        assert_eq!(single.total.count(), iters);
+        assert_eq!(single.total.mean().to_bits(), multi.total.mean().to_bits());
+        assert_eq!(single, multi);
+        assert_eq!(single, default);
     }
 }

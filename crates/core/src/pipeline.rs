@@ -141,13 +141,10 @@ pub struct SerReport {
 }
 
 impl SerReport {
-    /// MBU/SEU ratio in percent (Fig. 10).
+    /// MBU/SEU ratio in percent (Fig. 10). An MBU-only spectrum reports
+    /// `f64::INFINITY`, not 0 (see [`crate::fit::mbu_to_seu_ratio`]).
     pub fn mbu_to_seu_percent(&self) -> f64 {
-        if self.fit_seu > 0.0 {
-            100.0 * self.fit_mbu / self.fit_seu
-        } else {
-            0.0
-        }
+        100.0 * crate::fit::mbu_to_seu_ratio(self.fit_mbu, self.fit_seu)
     }
 }
 
@@ -406,6 +403,26 @@ mod tests {
         );
         assert_eq!(report.bins.len(), 5);
         assert!(report.mbu_to_seu_percent() >= 0.0);
+    }
+
+    #[test]
+    fn mbu_only_report_has_infinite_ratio() {
+        let report = SerReport {
+            particle: Particle::Alpha,
+            vdd: Voltage::from_volts(0.8),
+            fit_total: 3.0,
+            fit_seu: 0.0,
+            fit_mbu: 3.0,
+            bins: Vec::new(),
+        };
+        assert_eq!(report.mbu_to_seu_percent(), f64::INFINITY);
+        let empty = SerReport {
+            fit_total: 0.0,
+            fit_mbu: 0.0,
+            bins: Vec::new(),
+            ..report
+        };
+        assert_eq!(empty.mbu_to_seu_percent(), 0.0);
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! layout; obtain the electron–hole pairs for each struck fin; convert the
 //! pairs of *sensitive* fins into collected charge; look up per-cell POF;
 //! and combine the cells with Eqs. 4–6 into total/SEU/MBU probabilities.
-//! Iterations are averaged (and here also distributed across threads with
-//! deterministic per-thread RNG streams).
+//! Iterations are averaged, and distributed across worker threads in
+//! fixed-size logical chunks of [`MC_CHUNK_ITERATIONS`] iterations whose
+//! RNG streams are derived from the chunk index — never from the worker
+//! thread — so same-seed results are bit-identical on any host (see
+//! [`StrikeSimulator::estimate`]).
 
 use crate::array::{clamp_pof, MemoryArray};
 use finrad_geometry::trace::trace_boxes;
@@ -19,6 +22,71 @@ use finrad_transport::lut::EhpLut;
 use finrad_transport::straggling::{deposit_exceedance, landau_params, LandauParams};
 use finrad_units::{constants, Charge, Energy, Particle};
 use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Size of one logical Monte-Carlo chunk. The iteration space of an
+/// estimate is split into consecutive chunks of this many iterations, each
+/// with an RNG stream derived from `seed` and the *chunk index*. Worker
+/// threads pull whole chunks, so the set of random streams — and therefore
+/// the result — does not depend on how many workers the host offers.
+pub const MC_CHUNK_ITERATIONS: u64 = 4096;
+
+/// Splits `iterations` into [`MC_CHUNK_ITERATIONS`]-sized chunks, runs
+/// `chunk_fn(chunk_index, chunk_len)` for each across `threads` workers,
+/// and merges the partial estimates **in chunk order**. Both the per-chunk
+/// streams and the merge order are independent of `threads`, which is what
+/// makes same-seed results bit-identical across hosts.
+pub(crate) fn estimate_chunked<F>(
+    iterations: u64,
+    threads: NonZeroUsize,
+    chunk_fn: F,
+) -> ArrayPofEstimate
+where
+    F: Fn(u64, u64) -> ArrayPofEstimate + Sync,
+{
+    let n_chunks = iterations.div_ceil(MC_CHUNK_ITERATIONS);
+    let threads = (threads.get() as u64).min(n_chunks).max(1);
+    let next = AtomicU64::new(0);
+    let worker = || {
+        let mut out: Vec<(u64, ArrayPofEstimate)> = Vec::new();
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let start = c * MC_CHUNK_ITERATIONS;
+            let len = MC_CHUNK_ITERATIONS.min(iterations - start);
+            out.push((c, chunk_fn(c, len)));
+        }
+        out
+    };
+    let mut partials: Vec<(u64, ArrayPofEstimate)> = if threads == 1 {
+        worker()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(r) => r,
+                    // Forward the worker's own panic payload instead of
+                    // replacing it with a generic message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+    // The merge order must match the chunk order, not the (thread-count
+    // and scheduling dependent) completion order: Welford merging is not
+    // bit-associative.
+    partials.sort_by_key(|&(c, _)| c);
+    let mut out = ArrayPofEstimate::default();
+    for (_, p) in &partials {
+        out.merge(p);
+    }
+    out
+}
 
 /// How particle arrival directions are sampled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,7 +145,7 @@ pub struct IterationOutcome {
 }
 
 /// Aggregated Monte-Carlo estimate over many iterations.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ArrayPofEstimate {
     /// Statistics of POF_tot across iterations.
     pub total: RunningStats,
@@ -115,13 +183,12 @@ impl ArrayPofEstimate {
     }
 
     /// MBU/SEU ratio of the means (the paper's Fig. 10 quantity), as a
-    /// fraction (multiply by 100 for percent). Returns 0 if no SEU mass.
+    /// fraction (multiply by 100 for percent). Returns 0 when there is no
+    /// upset mass at all, and `f64::INFINITY` when MBU mass exists without
+    /// any SEU mass — that degenerate spectrum must not masquerade as
+    /// "no MBU" (see [`crate::fit::mbu_to_seu_ratio`]).
     pub fn mbu_to_seu(&self) -> f64 {
-        if self.seu.mean() > 0.0 {
-            self.mbu.mean() / self.seu.mean()
-        } else {
-            0.0
-        }
+        crate::fit::mbu_to_seu_ratio(self.mbu.mean(), self.seu.mean())
     }
 }
 
@@ -370,7 +437,12 @@ impl<'a> StrikeSimulator<'a> {
             let targets: Vec<StrikeTarget> = hits.iter().map(|(t, _)| *t).collect();
             let combo = StrikeCombo::new(&targets);
             let total: f64 = hits.iter().map(|(_, q)| q).sum();
-            pofs.push(clamp_pof(self.pof.pof(combo, Charge::from_coulombs(total))));
+            // An uncharacterized combo becomes NaN and is counted by the
+            // accumulator's quarantine instead of crashing the campaign.
+            pofs.push(match self.pof.pof(combo, Charge::from_coulombs(total)) {
+                Some(p) => clamp_pof(p),
+                None => f64::NAN,
+            });
         }
         pofs
     }
@@ -499,8 +571,13 @@ impl<'a> StrikeSimulator<'a> {
     }
 
     /// Runs `iterations` forced-hit strikes at one energy, split across
-    /// `std::thread::available_parallelism()` workers with deterministic
-    /// seeding.
+    /// `std::thread::available_parallelism()` workers.
+    ///
+    /// RNG streams are derived per [`MC_CHUNK_ITERATIONS`]-sized logical
+    /// chunk, not per worker thread, so the result for a given `seed` is
+    /// bit-identical regardless of the host's core count (enforced by a
+    /// regression test against [`Self::estimate_with_threads`] at 1
+    /// worker).
     ///
     /// # Panics
     ///
@@ -512,46 +589,46 @@ impl<'a> StrikeSimulator<'a> {
         iterations: u64,
         seed: u64,
     ) -> ArrayPofEstimate {
-        assert!(iterations > 0, "need at least one iteration");
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get() as u64)
-            .unwrap_or(1)
-            .min(iterations);
-        let chunk = iterations.div_ceil(n_threads);
-        let partials: Vec<ArrayPofEstimate> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..n_threads {
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(iterations);
-                if start >= end {
-                    break;
-                }
-                let this = &self;
-                handles.push(scope.spawn(move || {
-                    let mut rng = Xoshiro256pp::seed_from_u64(
-                        seed ^ (t + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93),
-                    );
-                    let mut acc = ArrayPofEstimate::default();
-                    for _ in start..end {
-                        acc.push(this.simulate_one(particle, energy, &mut rng));
-                    }
-                    acc
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    // Forward the worker's own panic payload instead of
-                    // replacing it with a generic message.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        });
+        let threads = std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN);
+        self.estimate_with_threads(particle, energy, iterations, seed, threads)
+    }
 
-        let mut out = ArrayPofEstimate::default();
-        for p in &partials {
-            out.merge(p);
+    /// [`Self::estimate`] with an explicit worker count. Any `threads`
+    /// value yields the same bits; the knob exists for the determinism
+    /// regression test and for callers that manage their own parallelism
+    /// budget (e.g. nested campaign runners).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn estimate_with_threads(
+        &self,
+        particle: Particle,
+        energy: Energy,
+        iterations: u64,
+        seed: u64,
+        threads: NonZeroUsize,
+    ) -> ArrayPofEstimate {
+        assert!(iterations > 0, "need at least one iteration");
+        let timer = finrad_observe::span(finrad_observe::keys::STRIKE_ESTIMATE_SECONDS);
+        let out = estimate_chunked(iterations, threads, |chunk, len| {
+            let mut rng =
+                Xoshiro256pp::seed_from_u64(seed ^ (chunk + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            let mut acc = ArrayPofEstimate::default();
+            for _ in 0..len {
+                acc.push(self.simulate_one(particle, energy, &mut rng));
+            }
+            finrad_observe::counter_add(finrad_observe::keys::STRIKE_ITERATIONS, len);
+            acc
+        });
+        finrad_observe::counter_add(finrad_observe::keys::STRIKE_QUARANTINED, out.quarantined);
+        if let Some(secs) = timer.elapsed_seconds() {
+            if secs > 0.0 {
+                finrad_observe::record(
+                    finrad_observe::keys::STRIKE_ITERS_PER_SEC,
+                    iterations as f64 / secs,
+                );
+            }
         }
         out
     }
@@ -723,6 +800,70 @@ mod tests {
         assert_eq!(a.total.count(), 500);
         // Ratio helper.
         assert!(a.mbu_to_seu() >= 0.0);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        // The core-count regression: per-chunk (not per-thread) RNG
+        // streams plus chunk-ordered merging must make a forced
+        // single-worker run bit-identical to the default multi-worker run.
+        let tech = Technology::soi_finfet_14nm();
+        let array = MemoryArray::build(&tech, 3, 3, DataPattern::Checkerboard);
+        let table = pof_table(0.8);
+        let sim = StrikeSimulator::new(
+            &array,
+            FinTraversal::paper_default(),
+            &table,
+            DirectionLaw::CosineDown,
+            DepositMode::ChordExact,
+            FlipModel::Expected,
+            None,
+        );
+        let e = Energy::from_mev(1.0);
+        // Several chunks plus a ragged tail, so the chunk decomposition —
+        // not just a single stream — is what is being compared.
+        let iters = 3 * MC_CHUNK_ITERATIONS + 123;
+        let one = NonZeroUsize::new(1).unwrap();
+        let many = NonZeroUsize::new(7).unwrap();
+        let single = sim.estimate_with_threads(Particle::Alpha, e, iters, 77, one);
+        let multi = sim.estimate_with_threads(Particle::Alpha, e, iters, 77, many);
+        let default = sim.estimate(Particle::Alpha, e, iters, 77);
+        assert_eq!(single.total.count(), iters);
+        for other in [&multi, &default] {
+            assert_eq!(
+                single.total.mean().to_bits(),
+                other.total.mean().to_bits(),
+                "POF_tot mean must be bit-identical"
+            );
+            assert_eq!(
+                single.seu.mean().to_bits(),
+                other.seu.mean().to_bits(),
+                "POF_SEU mean must be bit-identical"
+            );
+            assert_eq!(
+                single.mbu.mean().to_bits(),
+                other.mbu.mean().to_bits(),
+                "POF_MBU mean must be bit-identical"
+            );
+            assert_eq!(&single, other);
+        }
+    }
+
+    #[test]
+    fn mbu_to_seu_edge_cases() {
+        let mut est = ArrayPofEstimate::default();
+        est.push(IterationOutcome::default());
+        // No upset mass at all: ratio is 0, not NaN.
+        assert_eq!(est.mbu_to_seu(), 0.0);
+        // MBU mass without SEU mass must not report "no MBU".
+        let mut mbu_only = ArrayPofEstimate::default();
+        mbu_only.push(IterationOutcome {
+            pof_total: 0.5,
+            pof_seu: 0.0,
+            pof_mbu: 0.5,
+            cells_struck: 2,
+        });
+        assert_eq!(mbu_only.mbu_to_seu(), f64::INFINITY);
     }
 
     #[test]

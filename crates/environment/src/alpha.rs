@@ -63,8 +63,7 @@ impl AlphaSpectrum {
         let scale = total_rate.per_m2_second() / raw_integral;
         let ys: Vec<f64> = SHAPE_REL.iter().map(|&y| y * scale).collect();
         Self {
-            density: LinearTable::new(SHAPE_MEV.to_vec(), ys)
-                .expect("static spectrum table is well-formed"),
+            density: LinearTable::from_static(SHAPE_MEV.to_vec(), ys),
             lo_mev: SHAPE_MEV[0],
             hi_mev: SHAPE_MEV[SHAPE_MEV.len() - 1],
         }

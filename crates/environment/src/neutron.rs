@@ -47,8 +47,7 @@ impl NeutronSpectrum {
     pub fn sea_level() -> Self {
         Self {
             scale: 1.0,
-            shape: LogLogTable::new(SHAPE_MEV.to_vec(), SHAPE_FLUX.to_vec())
-                .expect("static spectrum table is well-formed"),
+            shape: LogLogTable::from_static(SHAPE_MEV.to_vec(), SHAPE_FLUX.to_vec()),
             lo_mev: SHAPE_MEV[0],
             hi_mev: SHAPE_MEV[SHAPE_MEV.len() - 1],
         }

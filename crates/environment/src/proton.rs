@@ -53,8 +53,7 @@ impl ProtonSpectrum {
             5.0e-11, 1.0e-13, 3.0e-16,
         ];
         Self {
-            intensity: LogLogTable::new(energies_mev, intensity)
-                .expect("static spectrum table is well-formed"),
+            intensity: LogLogTable::from_static(energies_mev, intensity),
             lo_mev: 1.0e-1,
             hi_mev: 1.0e7,
         }
@@ -72,12 +71,14 @@ impl ProtonSpectrum {
             "scale factor must be positive"
         );
         let xs: Vec<f64> = finrad_numerics::interp::log_space(self.lo_mev, self.hi_mev, 64);
+        // The floor keeps the strict-positivity invariant even when a tiny
+        // `factor` underflows the smallest intensities to zero.
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&e| self.intensity.eval(e) * factor)
+            .map(|&e| (self.intensity.eval(e) * factor).max(f64::MIN_POSITIVE))
             .collect();
         Self {
-            intensity: LogLogTable::new(xs, ys).expect("scaled table well-formed"),
+            intensity: LogLogTable::from_static(xs, ys),
             lo_mev: self.lo_mev,
             hi_mev: self.hi_mev,
         }

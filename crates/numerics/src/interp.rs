@@ -80,6 +80,20 @@ impl LinearTable {
         Ok(Self { xs, ys })
     }
 
+    /// Builds a table whose invariants the *caller* guarantees — compile-
+    /// time-constant or otherwise statically well-formed data. Violations
+    /// are caught by `debug_assert!` (and therefore by the test suite);
+    /// release builds construct the table as-is. This is the constructor
+    /// for static reference tables in library code, where an `expect` on
+    /// [`Self::new`] would trade a provably-absent error for a panic path.
+    pub fn from_static(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        debug_assert!(
+            validate(&xs, &ys).is_ok(),
+            "static linear table violates its invariants"
+        );
+        Self { xs, ys }
+    }
+
     /// Interpolated value at `x`; clamps outside the covered range.
     pub fn eval(&self, x: f64) -> f64 {
         // The constructor guarantees at least two points.
@@ -160,6 +174,20 @@ impl LogLogTable {
             log_xs: xs.iter().map(|v| v.log10()).collect(),
             log_ys: ys.iter().map(|v| v.log10()).collect(),
         })
+    }
+
+    /// Builds a log–log table from statically well-formed data (see
+    /// [`LinearTable::from_static`]). Invariants — including strict
+    /// positivity — are checked with `debug_assert!` only.
+    pub fn from_static(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        debug_assert!(
+            validate(&xs, &ys).is_ok() && xs.iter().chain(ys.iter()).all(|&v| v > 0.0),
+            "static log-log table violates its invariants"
+        );
+        Self {
+            log_xs: xs.iter().map(|v| v.log10()).collect(),
+            log_ys: ys.iter().map(|v| v.log10()).collect(),
+        }
     }
 
     /// Interpolated value at `x > 0`; clamps outside the covered range.

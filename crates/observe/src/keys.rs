@@ -1,0 +1,49 @@
+//! Canonical metric keys used across the workspace.
+//!
+//! Keys are dotted paths, `<crate>.<subsystem>.<quantity>`. Counters count
+//! events; histogram keys ending in `_seconds` hold wall-time observations
+//! in seconds, and keys ending in `_per_sec` hold throughput observations.
+//! The full catalogue (with units and producers) is documented in
+//! `docs/observability.md`.
+
+/// Newton iterations executed by the SPICE solver (converged or not).
+pub const SPICE_NEWTON_ITERATIONS: &str = "spice.newton.iterations";
+/// Newton solves attempted (each may take many iterations).
+pub const SPICE_NEWTON_SOLVES: &str = "spice.newton.solves";
+/// Newton solves that failed to converge (before any recovery rung).
+pub const SPICE_NEWTON_FAILURES: &str = "spice.newton.failures";
+/// Prefix for recovery-ladder rung attempts; the rung's display name and
+/// outcome are appended, e.g. `spice.recovery.rung.gmin-stepping.ok`.
+pub const SPICE_RECOVERY_RUNG_PREFIX: &str = "spice.recovery.rung.";
+
+/// Critical-charge bisection/bracketing transient evaluations.
+pub const SRAM_BISECTION_STEPS: &str = "sram.characterize.bisection_steps";
+/// Strike combos characterized.
+pub const SRAM_COMBOS: &str = "sram.characterize.combos";
+/// Wall time per characterized combo, seconds.
+pub const SRAM_COMBO_SECONDS: &str = "sram.characterize.combo_seconds";
+
+/// Array-level strike-MC iterations executed.
+pub const STRIKE_ITERATIONS: &str = "core.strike.iterations";
+/// Strike-MC iterations rejected by the accumulator NaN quarantine.
+pub const STRIKE_QUARANTINED: &str = "core.strike.quarantined";
+/// Wall time of one `StrikeSimulator::estimate` call, seconds.
+pub const STRIKE_ESTIMATE_SECONDS: &str = "core.strike.estimate_seconds";
+/// Strike-MC throughput of one estimate call, iterations/second.
+pub const STRIKE_ITERS_PER_SEC: &str = "core.strike.iters_per_sec";
+
+/// Neutron-MC histories executed.
+pub const NEUTRON_ITERATIONS: &str = "core.neutron.iterations";
+/// Neutron-MC histories rejected by the accumulator NaN quarantine.
+pub const NEUTRON_QUARANTINED: &str = "core.neutron.quarantined";
+/// Wall time of one `NeutronSimulator::estimate` call, seconds.
+pub const NEUTRON_ESTIMATE_SECONDS: &str = "core.neutron.estimate_seconds";
+/// Neutron-MC throughput of one estimate call, histories/second.
+pub const NEUTRON_ITERS_PER_SEC: &str = "core.neutron.iters_per_sec";
+
+/// Wall time per campaign energy bin, seconds.
+pub const CAMPAIGN_BIN_SECONDS: &str = "core.campaign.bin_seconds";
+/// Campaign energy bins that completed.
+pub const CAMPAIGN_BINS_OK: &str = "core.campaign.bins_ok";
+/// Campaign energy bins that failed (degraded coverage).
+pub const CAMPAIGN_BINS_FAILED: &str = "core.campaign.bins_failed";

@@ -238,6 +238,7 @@ impl<'c> Assembler<'c> {
         let mut v = v_guess.to_vec();
         let mut branch = vec![0.0; self.ckt.vsource_count()];
         let mut last_delta = f64::INFINITY;
+        finrad_observe::counter_add(finrad_observe::keys::SPICE_NEWTON_SOLVES, 1);
 
         for iter in 0..opts.max_iter {
             let (j, b) = self.assemble(&v, cap_state, time, gmin);
@@ -269,9 +270,18 @@ impl<'c> Assembler<'c> {
             v = v_new;
             last_delta = max_applied;
             if max_applied < opts.vtol && iter > 0 {
+                finrad_observe::counter_add(
+                    finrad_observe::keys::SPICE_NEWTON_ITERATIONS,
+                    iter as u64 + 1,
+                );
                 return Ok((v, branch));
             }
         }
+        finrad_observe::counter_add(
+            finrad_observe::keys::SPICE_NEWTON_ITERATIONS,
+            opts.max_iter as u64,
+        );
+        finrad_observe::counter_add(finrad_observe::keys::SPICE_NEWTON_FAILURES, 1);
         Err(SpiceError::NoConvergence {
             context: context.to_owned(),
             iterations: opts.max_iter,

@@ -83,6 +83,16 @@ impl RecoveryTrace {
     ///
     /// [`suppressed`]: RecoveryTrace::suppressed
     pub fn record(&mut self, rung: RecoveryRung, succeeded: bool, detail: impl Into<String>) {
+        if finrad_observe::enabled() {
+            let outcome = if succeeded { "ok" } else { "fail" };
+            finrad_observe::counter_add(
+                &format!(
+                    "{}{rung}.{outcome}",
+                    finrad_observe::keys::SPICE_RECOVERY_RUNG_PREFIX
+                ),
+                1,
+            );
+        }
         if self.attempts.len() < MAX_RECORDED_ATTEMPTS {
             self.attempts.push(RecoveryAttempt {
                 rung,

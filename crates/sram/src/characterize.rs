@@ -205,7 +205,7 @@ impl CellCharacterizer {
         let mut bracketed = false;
         while hi < self.options.q_search_max {
             hi = (hi * 1.6).min(self.options.q_search_max);
-            if self.flips(vdd, combo, Charge::from_coulombs(hi), deltas)? {
+            if self.flips_counted(vdd, combo, Charge::from_coulombs(hi), deltas)? {
                 bracketed = true;
                 break;
             }
@@ -220,13 +220,26 @@ impl CellCharacterizer {
         }
         while hi / lo > 1.0 + self.options.bisect_rel_tol {
             let mid = (lo * hi).sqrt();
-            if self.flips(vdd, combo, Charge::from_coulombs(mid), deltas)? {
+            if self.flips_counted(vdd, combo, Charge::from_coulombs(mid), deltas)? {
                 hi = mid;
             } else {
                 lo = mid;
             }
         }
         Ok(Charge::from_coulombs((lo * hi).sqrt()))
+    }
+
+    /// [`Self::flips`] plus the bracketing/bisection transient-evaluation
+    /// counter (`sram.characterize.bisection_steps`).
+    fn flips_counted(
+        &self,
+        vdd: Voltage,
+        combo: StrikeCombo,
+        q: Charge,
+        deltas: &HashMap<TransistorRole, Voltage>,
+    ) -> Result<bool, SpiceError> {
+        finrad_observe::counter_add(finrad_observe::keys::SRAM_BISECTION_STEPS, 1);
+        self.flips(vdd, combo, q, deltas)
     }
 
     /// Draws one per-transistor ΔVth assignment.
@@ -257,6 +270,8 @@ impl CellCharacterizer {
         variation: Variation,
         seed: u64,
     ) -> Result<PofCurve, SpiceError> {
+        let _combo_timer = finrad_observe::span(finrad_observe::keys::SRAM_COMBO_SECONDS);
+        finrad_observe::counter_add(finrad_observe::keys::SRAM_COMBOS, 1);
         match variation {
             Variation::Nominal => {
                 let q = self.critical_charge(vdd, combo, &HashMap::new())?;

@@ -28,7 +28,7 @@ use finrad_units::Length;
 ///
 /// let layout = CellLayout::paper_fig5b(&Technology::soi_finfet_14nm());
 /// assert_eq!(layout.boxes().len(), 6);
-/// let pd = layout.device_box(TransistorRole::PullDownLeft);
+/// let pd = layout.device_box(TransistorRole::PullDownLeft).unwrap();
 /// assert!(pd.volume() > 0.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -106,18 +106,11 @@ impl CellLayout {
         &self.boxes
     }
 
-    /// The sensitive box of one transistor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the role is somehow absent (cannot happen for constructed
-    /// layouts).
-    pub fn device_box(&self, role: TransistorRole) -> Aabb {
-        self.boxes
-            .iter()
-            .find(|(r, _)| *r == role)
-            .map(|(_, b)| *b)
-            .expect("all six roles are placed")
+    /// The sensitive box of one transistor, or `None` if the role is
+    /// absent (constructed layouts always place all six roles, but
+    /// deserialized ones are not trusted to).
+    pub fn device_box(&self, role: TransistorRole) -> Option<Aabb> {
+        self.boxes.iter().find(|(r, _)| *r == role).map(|(_, b)| *b)
     }
 
     /// The cell's bounding box (full footprint, fin height in z).
@@ -193,17 +186,17 @@ mod tests {
         // PD-L and PASS-L share the leftmost fin (same x extent);
         // PD-R and PASS-R share the rightmost; PU fins are interior.
         let lay = layout();
-        let pdl = lay.device_box(TransistorRole::PullDownLeft);
-        let passl = lay.device_box(TransistorRole::PassLeft);
+        let pdl = lay.device_box(TransistorRole::PullDownLeft).unwrap();
+        let passl = lay.device_box(TransistorRole::PassLeft).unwrap();
         assert_eq!(pdl.min_corner().x, passl.min_corner().x);
         assert_ne!(pdl.min_corner().y, passl.min_corner().y);
 
-        let pdr = lay.device_box(TransistorRole::PullDownRight);
-        let passr = lay.device_box(TransistorRole::PassRight);
+        let pdr = lay.device_box(TransistorRole::PullDownRight).unwrap();
+        let passr = lay.device_box(TransistorRole::PassRight).unwrap();
         assert_eq!(pdr.min_corner().x, passr.min_corner().x);
 
-        let pul = lay.device_box(TransistorRole::PullUpLeft);
-        let pur = lay.device_box(TransistorRole::PullUpRight);
+        let pul = lay.device_box(TransistorRole::PullUpLeft).unwrap();
+        let pur = lay.device_box(TransistorRole::PullUpRight).unwrap();
         assert!(pul.min_corner().x > pdl.max_corner().x);
         assert!(pur.max_corner().x < pdr.min_corner().x);
         assert!(pul.min_corner().x < pur.min_corner().x);

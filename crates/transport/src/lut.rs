@@ -12,6 +12,7 @@ use crate::fin::FinTraversal;
 use finrad_numerics::interp::{log_space, LinearTable};
 use finrad_numerics::rng::Rng;
 use finrad_numerics::stats::RunningStats;
+use finrad_numerics::NumericsError;
 use finrad_units::{Energy, Particle};
 
 /// One row of the LUT: traversal statistics at a single energy.
@@ -92,24 +93,31 @@ impl EhpLut {
                 }
             })
             .collect();
-        Self::from_rows(particle, rows)
+        match Self::from_rows(particle, rows) {
+            Ok(lut) => lut,
+            // log_space yields ≥ 2 strictly increasing finite energies and
+            // the means are clamped non-negative, so the table is valid by
+            // construction.
+            Err(e) => unreachable!("freshly built LUT rows are well-formed: {e}"),
+        }
     }
 
     /// Assembles a LUT from precomputed rows (e.g. deserialized from disk).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than two rows are given or their energies are not
-    /// strictly increasing.
-    pub fn from_rows(particle: Particle, rows: Vec<LutRow>) -> Self {
+    /// [`NumericsError::InvalidTable`] if fewer than two rows are given,
+    /// any entry is non-finite, or the energies are not strictly
+    /// increasing — exactly the failure modes of untrusted on-disk data.
+    pub fn from_rows(particle: Particle, rows: Vec<LutRow>) -> Result<Self, NumericsError> {
         let xs: Vec<f64> = rows.iter().map(|r| r.energy_mev).collect();
         let ys: Vec<f64> = rows.iter().map(|r| r.mean_pairs.max(0.0)).collect();
-        let table = LinearTable::new(xs, ys).expect("LUT rows must be increasing in energy");
-        Self {
+        let table = LinearTable::new(xs, ys)?;
+        Ok(Self {
             particle,
             rows,
             table,
-        }
+        })
     }
 
     /// The particle species this LUT describes.
@@ -209,7 +217,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "increasing in energy")]
     fn from_rows_rejects_unsorted() {
         let rows = vec![
             LutRow {
@@ -225,6 +232,9 @@ mod tests {
                 samples: 10,
             },
         ];
-        let _ = EhpLut::from_rows(Particle::Alpha, rows);
+        assert!(matches!(
+            EhpLut::from_rows(Particle::Alpha, rows),
+            Err(NumericsError::InvalidTable(_))
+        ));
     }
 }

@@ -71,11 +71,10 @@ impl NeutronInteraction {
     /// (≈ 0.12–1.9 MeV/µm in silicon).
     pub fn silicon() -> Self {
         Self {
-            sigma_barn: LogLogTable::new(
+            sigma_barn: LogLogTable::from_static(
                 vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 300.0, 1.0e3],
                 vec![0.02, 0.05, 0.15, 0.30, 0.45, 0.50, 0.46, 0.45, 0.45],
-            )
-            .expect("static cross-section table is well-formed"),
+            ),
             secondary_mean_base_mev: 1.0,
             secondary_mean_fraction: 0.05,
             secondary_mean_cap_mev: 10.0,

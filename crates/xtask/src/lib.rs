@@ -20,6 +20,8 @@
 #![deny(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod bench;
+pub mod json;
 pub mod lints;
 pub mod report;
 pub mod source;

@@ -161,7 +161,7 @@ fn variation_table_pof_bounds_nominal() {
     let mc = quick_table(0.8, Variation::MonteCarlo { samples: 24 });
     let combo = StrikeCombo::single(StrikeTarget::I1);
     let q_nom = nominal.curve(combo).expect("characterized").median_qcrit();
-    let pof_at_nominal = mc.pof(combo, q_nom);
+    let pof_at_nominal = mc.pof(combo, q_nom).expect("characterized");
     assert!(
         pof_at_nominal > 0.05 && pof_at_nominal < 0.95,
         "pof at nominal qcrit: {pof_at_nominal}"
