@@ -16,8 +16,18 @@ cargo test -q --offline --features fault-injection --test fault_injection
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo xtask lint --deny-all --max panic-freedom=0"
-cargo xtask lint --deny-all --max panic-freedom=0
+echo "==> cargo xtask lint (deny-all, all families capped at 0, JSON report)"
+cargo xtask lint --deny-all \
+  --max panic-freedom=0 \
+  --max metrics-key-registry=0 \
+  --max seed-discipline=0 \
+  --max shared-state-audit=0 \
+  --max checkpoint-schema-drift=0 \
+  --max unused-suppression=0 \
+  --json target/lint-report.json
+
+echo "==> cargo xtask lint --check-report (report schema gate)"
+cargo xtask lint --check-report target/lint-report.json
 
 echo "==> cargo xtask bench --smoke (trajectory schema gate)"
 cargo xtask bench --smoke --out target/BENCH_smoke.json

@@ -198,8 +198,7 @@ impl<'a> NeutronSimulator<'a> {
         assert!(iterations > 0, "need at least one iteration");
         let timer = finrad_observe::span(finrad_observe::keys::NEUTRON_ESTIMATE_SECONDS);
         let out = estimate_chunked(iterations, threads, |chunk, len| {
-            let mut rng =
-                Xoshiro256pp::seed_from_u64(seed ^ (chunk + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut rng = Xoshiro256pp::salted_stream(seed, chunk + 1, 0xA076_1D64_78BD_642F);
             let mut acc = ArrayPofEstimate::default();
             for _ in 0..len {
                 acc.push(self.simulate_one(energy, &mut rng));

@@ -51,7 +51,7 @@ where
     let worker = || {
         let mut out: Vec<(u64, ArrayPofEstimate)> = Vec::new();
         loop {
-            let c = next.fetch_add(1, Ordering::Relaxed);
+            let c = next.fetch_add(1, Ordering::SeqCst);
             if c >= n_chunks {
                 break;
             }
@@ -612,8 +612,7 @@ impl<'a> StrikeSimulator<'a> {
         assert!(iterations > 0, "need at least one iteration");
         let timer = finrad_observe::span(finrad_observe::keys::STRIKE_ESTIMATE_SECONDS);
         let out = estimate_chunked(iterations, threads, |chunk, len| {
-            let mut rng =
-                Xoshiro256pp::seed_from_u64(seed ^ (chunk + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            let mut rng = Xoshiro256pp::salted_stream(seed, chunk + 1, 0xD6E8_FEB8_6659_FD93);
             let mut acc = ArrayPofEstimate::default();
             for _ in 0..len {
                 acc.push(self.simulate_one(particle, energy, &mut rng));

@@ -5,6 +5,12 @@
 //! in seconds, and keys ending in `_per_sec` hold throughput observations.
 //! The full catalogue (with units and producers) is documented in
 //! `docs/observability.md`.
+//!
+//! This file doubles as the machine-readable key registry: the
+//! `metrics-key-registry` lint (`cargo xtask lint`) indexes every
+//! `pub const NAME: &str` here and rejects recorder calls elsewhere in
+//! the workspace whose key literal is neither declared below nor under
+//! a `*_PREFIX` constant. Add the constant first, then use it.
 
 /// Newton iterations executed by the SPICE solver (converged or not).
 pub const SPICE_NEWTON_ITERATIONS: &str = "spice.newton.iterations";

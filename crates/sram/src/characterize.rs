@@ -298,8 +298,10 @@ impl CellCharacterizer {
                         handles.push(scope.spawn(move || {
                             let mut out = Vec::with_capacity(end - start);
                             for i in start..end {
-                                let mut rng = Xoshiro256pp::seed_from_u64(
-                                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                                let mut rng = Xoshiro256pp::salted_stream(
+                                    seed,
+                                    i as u64,
+                                    0x9E37_79B9_7F4A_7C15,
                                 );
                                 let deltas = this.sample_deltas(var, &mut rng);
                                 let q = this.critical_charge(vdd, combo, &deltas)?;

@@ -1,15 +1,21 @@
-//! The ratchet baseline: known violation counts per (lint, file).
+//! The ratchet baseline: known violation counts per (lint, file), plus the
+//! pinned checkpoint schema fingerprint.
 //!
 //! The baseline lives at `xtask/lint-baseline.toml` in the repo root. Each
-//! entry records how many violations of one lint family one file is allowed
-//! to carry. The lint gate fails when a file *exceeds* its baselined count
-//! (new debt) and, in `--deny-all` mode, also when it falls *below* it
-//! (stale baseline — re-run `--fix-allowlist` to ratchet the budget down so
-//! fixed debt cannot silently return).
+//! `[[entry]]` records how many violations of one lint family one file is
+//! allowed to carry. The lint gate fails when a file *exceeds* its
+//! baselined count (new debt) and, in `--deny-all` mode, also when it falls
+//! *below* it (stale baseline — re-run `--fix-allowlist` to ratchet the
+//! budget down so fixed debt cannot silently return).
 //!
-//! The file is a deliberately restricted TOML dialect (an array of
-//! `[[entry]]` tables with string/integer scalars) so it can be parsed with
-//! no dependencies.
+//! A single `[checkpoint-schema]` table pins the FNV-1a 64 fingerprint of
+//! the checkpoint codec's non-test token stream together with the
+//! `CHECKPOINT_VERSION` it was recorded at; the `checkpoint-schema-drift`
+//! lint fails when the fingerprint moves without a version bump.
+//!
+//! The file is a deliberately restricted TOML dialect (scalar keys inside
+//! `[[entry]]` / `[checkpoint-schema]` tables only) so it can be parsed
+//! with no dependencies.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -21,10 +27,19 @@ use crate::lints::{LintId, Violation};
 /// Where the baseline lives, relative to the repo root.
 pub const BASELINE_PATH: &str = "xtask/lint-baseline.toml";
 
-/// Violation budgets keyed by (lint id, repo-relative path).
+/// Violation budgets keyed by (lint id, repo-relative path), plus the
+/// recorded checkpoint schema pin.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
     entries: BTreeMap<(String, PathBuf), usize>,
+    /// `(fingerprint, format-version)` recorded by `--fix-allowlist`.
+    checkpoint_schema: Option<(u64, u32)>,
+}
+
+/// Which table a parsed `key = value` line belongs to.
+enum Section {
+    Entry(Option<String>, Option<PathBuf>, Option<usize>),
+    CheckpointSchema,
 }
 
 impl Baseline {
@@ -46,77 +61,136 @@ impl Baseline {
 
     /// Parses the restricted-TOML baseline format.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut entries = BTreeMap::new();
-        let mut current: Option<(Option<String>, Option<PathBuf>, Option<usize>)> = None;
+        let mut out = Self::default();
+        let mut schema_fp: Option<u64> = None;
+        let mut schema_ver: Option<u32> = None;
+        let mut current: Option<Section> = None;
         for (no, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             if line == "[[entry]]" {
-                Self::flush(&mut current, &mut entries, no)?;
-                current = Some((None, None, None));
+                Self::flush(&mut current, &mut out.entries, no)?;
+                current = Some(Section::Entry(None, None, None));
+                continue;
+            }
+            if line == "[checkpoint-schema]" {
+                Self::flush(&mut current, &mut out.entries, no)?;
+                current = Some(Section::CheckpointSchema);
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!("line {}: expected `key = value`", no + 1));
             };
-            let slot = current
+            let section = current
                 .as_mut()
-                .ok_or_else(|| format!("line {}: key outside [[entry]]", no + 1))?;
-            match key.trim() {
-                "id" => slot.0 = Some(unquote(value)?),
-                "file" => slot.1 = Some(PathBuf::from(unquote(value)?)),
-                "count" => {
-                    slot.2 = Some(
-                        value
-                            .trim()
-                            .parse::<usize>()
-                            .map_err(|e| format!("line {}: bad count: {e}", no + 1))?,
-                    )
-                }
-                other => return Err(format!("line {}: unknown key `{other}`", no + 1)),
+                .ok_or_else(|| format!("line {}: key outside a table", no + 1))?;
+            match section {
+                Section::Entry(id, file, count) => match key.trim() {
+                    "id" => *id = Some(unquote(value)?),
+                    "file" => *file = Some(PathBuf::from(unquote(value)?)),
+                    "count" => {
+                        *count = Some(
+                            value
+                                .trim()
+                                .parse::<usize>()
+                                .map_err(|e| format!("line {}: bad count: {e}", no + 1))?,
+                        )
+                    }
+                    other => return Err(format!("line {}: unknown key `{other}`", no + 1)),
+                },
+                Section::CheckpointSchema => match key.trim() {
+                    "fingerprint" => {
+                        let hex = unquote(value)?;
+                        schema_fp = Some(u64::from_str_radix(&hex, 16).map_err(|e| {
+                            format!("line {}: bad fingerprint `{hex}`: {e}", no + 1)
+                        })?);
+                    }
+                    "format-version" => {
+                        schema_ver =
+                            Some(value.trim().parse::<u32>().map_err(|e| {
+                                format!("line {}: bad format-version: {e}", no + 1)
+                            })?);
+                    }
+                    other => return Err(format!("line {}: unknown key `{other}`", no + 1)),
+                },
             }
         }
-        Self::flush(&mut current, &mut entries, usize::MAX)?;
-        Ok(Self { entries })
+        Self::flush(&mut current, &mut out.entries, usize::MAX)?;
+        out.checkpoint_schema = match (schema_fp, schema_ver) {
+            (Some(fp), Some(ver)) => Some((fp, ver)),
+            (None, None) => None,
+            _ => {
+                return Err(
+                    "[checkpoint-schema] needs both `fingerprint` and `format-version`".to_string(),
+                )
+            }
+        };
+        Ok(out)
     }
 
     fn flush(
-        current: &mut Option<(Option<String>, Option<PathBuf>, Option<usize>)>,
+        current: &mut Option<Section>,
         entries: &mut BTreeMap<(String, PathBuf), usize>,
         line: usize,
     ) -> Result<(), String> {
-        if let Some((id, file, count)) = current.take() {
-            let (Some(id), Some(file), Some(count)) = (id, file, count) else {
-                return Err(format!(
-                    "entry before line {} is missing id, file or count",
-                    line.saturating_add(1)
-                ));
-            };
-            entries.insert((id, file), count);
+        match current.take() {
+            Some(Section::Entry(id, file, count)) => {
+                let (Some(id), Some(file), Some(count)) = (id, file, count) else {
+                    return Err(format!(
+                        "entry before line {} is missing id, file or count",
+                        line.saturating_add(1)
+                    ));
+                };
+                entries.insert((id, file), count);
+                Ok(())
+            }
+            Some(Section::CheckpointSchema) | None => Ok(()),
         }
-        Ok(())
     }
 
-    /// Builds a baseline from observed violations.
+    /// Builds a baseline from observed violations. Families that are not
+    /// [`LintId::baselineable`] are skipped — they must be fixed, not
+    /// budgeted. The checkpoint schema pin is set separately via
+    /// [`Baseline::set_checkpoint_schema`].
     pub fn from_violations(violations: &[Violation]) -> Self {
         let mut entries: BTreeMap<(String, PathBuf), usize> = BTreeMap::new();
-        for v in violations {
+        for v in violations.iter().filter(|v| v.lint.baselineable()) {
             *entries
                 .entry((v.lint.as_str().to_string(), v.file.clone()))
                 .or_insert(0) += 1;
         }
-        Self { entries }
+        Self {
+            entries,
+            checkpoint_schema: None,
+        }
+    }
+
+    /// The recorded `(fingerprint, format-version)` pin, if any.
+    pub fn checkpoint_schema(&self) -> Option<(u64, u32)> {
+        self.checkpoint_schema
+    }
+
+    /// Records the checkpoint schema pin (used by `--fix-allowlist`).
+    pub fn set_checkpoint_schema(&mut self, fingerprint: u64, version: u32) {
+        self.checkpoint_schema = Some((fingerprint, version));
     }
 
     /// Serializes back to the restricted TOML dialect.
     pub fn to_toml(&self) -> String {
         let mut out = String::from(
-            "# finrad lint baseline — violation budgets per (lint, file).\n\
+            "# finrad lint baseline — violation budgets per (lint, file) and the\n\
+             # pinned checkpoint schema fingerprint.\n\
              # Regenerate with `cargo xtask lint --fix-allowlist`; counts may\n\
              # only ratchet down. `rng-determinism` must never appear here.\n",
         );
+        if let Some((fp, ver)) = self.checkpoint_schema {
+            let _ = write!(
+                out,
+                "\n[checkpoint-schema]\nfingerprint = \"{fp:016x}\"\nformat-version = {ver}\n"
+            );
+        }
         for ((id, file), count) in &self.entries {
             let _ = write!(
                 out,
@@ -221,6 +295,7 @@ mod tests {
             lint,
             file: PathBuf::from(file),
             line,
+            col: 1,
             message: String::new(),
         }
     }
@@ -232,7 +307,8 @@ mod tests {
             v(LintId::PanicFreedom, "crates/a/src/lib.rs", 9),
             v(LintId::UnitSafety, "crates/b/src/lib.rs", 1),
         ];
-        let b = Baseline::from_violations(&vs);
+        let mut b = Baseline::from_violations(&vs);
+        b.set_checkpoint_schema(0xdead_beef_0000_0001, 3);
         let parsed = Baseline::parse(&b.to_toml()).unwrap();
         assert_eq!(b, parsed);
         assert_eq!(
@@ -240,6 +316,20 @@ mod tests {
             2
         );
         assert_eq!(parsed.total(), 3);
+        assert_eq!(parsed.checkpoint_schema(), Some((0xdead_beef_0000_0001, 3)));
+    }
+
+    #[test]
+    fn non_baselineable_families_are_never_budgeted() {
+        let vs = vec![
+            v(LintId::UnusedSuppression, "a.rs", 1),
+            v(LintId::CheckpointSchemaDrift, "b.rs", 1),
+            v(LintId::PanicFreedom, "a.rs", 2),
+        ];
+        let b = Baseline::from_violations(&vs);
+        assert_eq!(b.total(), 1);
+        assert!(!b.has_lint(LintId::UnusedSuppression));
+        assert!(!b.has_lint(LintId::CheckpointSchemaDrift));
     }
 
     #[test]
@@ -270,5 +360,10 @@ mod tests {
         assert!(Baseline::parse("count = 3\n").is_err());
         assert!(Baseline::parse("[[entry]]\nid = \"x\"\n").is_err());
         assert!(Baseline::parse("[[entry]]\nid = x\nfile = \"f\"\ncount = 1\n").is_err());
+        assert!(Baseline::parse("[checkpoint-schema]\nfingerprint = \"ff\"\n").is_err());
+        assert!(
+            Baseline::parse("[checkpoint-schema]\nfingerprint = \"zz\"\nformat-version = 1\n")
+                .is_err()
+        );
     }
 }

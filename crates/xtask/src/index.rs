@@ -1,0 +1,305 @@
+//! Phase-1 workspace symbol index for the cross-file lints.
+//!
+//! Before linting individual files, the driver reads three anchor files and
+//! extracts the symbols the cross-file lints check against:
+//!
+//! * `crates/observe/src/keys.rs` — the declared metric-key registry.
+//!   `pub const NAME: &str = "...";` declares an exact key; constants whose
+//!   name ends in `_PREFIX` declare a key *prefix* (call sites compose the
+//!   tail at runtime, e.g. the SPICE recovery-rung names).
+//! * `crates/numerics/src/rng.rs` — the sanctioned seed-derivation API.
+//!   The bodies of `seed_from_u64` / `from_state` / `stream` /
+//!   `salted_stream` are the only places allowed to do seed arithmetic.
+//! * `crates/core/src/checkpoint.rs` — the checkpoint format version and an
+//!   FNV-1a 64 fingerprint of the file's non-test token stream. The
+//!   fingerprint is insensitive to comments, formatting, and `#[cfg(test)]`
+//!   code, so it moves exactly when the (de)serialization logic moves.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token, TokenKind};
+
+/// Workspace-relative path of the metric-key registry.
+pub const KEYS_FILE: &str = "crates/observe/src/keys.rs";
+/// Workspace-relative path of the RNG module holding the sanctioned
+/// seed-derivation helpers.
+pub const RNG_FILE: &str = "crates/numerics/src/rng.rs";
+/// Workspace-relative path of the checkpoint codec.
+pub const CHECKPOINT_FILE: &str = "crates/core/src/checkpoint.rs";
+/// Constructor names whose bodies may derive seeds from arithmetic.
+pub const SEED_HELPER_FNS: [&str; 4] = ["seed_from_u64", "from_state", "stream", "salted_stream"];
+
+/// Checkpoint schema facts extracted from [`CHECKPOINT_FILE`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSchema {
+    /// Value of `CHECKPOINT_VERSION`.
+    pub version: u32,
+    /// Span of the version constant's value, for diagnostics.
+    pub version_line: usize,
+    /// 1-indexed column of the version constant's value.
+    pub version_col: usize,
+    /// FNV-1a 64 fingerprint of the file's non-test token stream.
+    pub fingerprint: u64,
+}
+
+/// The phase-1 symbol index consumed by the cross-file lints.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Exact metric keys declared in the registry.
+    pub metric_keys: BTreeSet<String>,
+    /// Declared key prefixes (constants named `*_PREFIX`).
+    pub metric_key_prefixes: Vec<String>,
+    /// `(file, first_line, last_line)` spans of sanctioned seed-derivation
+    /// function bodies; `seed-discipline` is silent inside them.
+    pub seed_sanctioned: Vec<(PathBuf, usize, usize)>,
+    /// Checkpoint schema facts, when the anchor file declares them.
+    pub checkpoint: Option<CheckpointSchema>,
+}
+
+impl WorkspaceIndex {
+    /// True when `key` is declared exactly or composed from a declared
+    /// prefix.
+    pub fn key_is_declared(&self, key: &str) -> bool {
+        self.metric_keys.contains(key)
+            || self
+                .metric_key_prefixes
+                .iter()
+                .any(|p| key.starts_with(p.as_str()))
+    }
+
+    /// True when 1-indexed `line` of workspace-relative `file` lies inside a
+    /// sanctioned seed-derivation helper body.
+    pub fn line_is_seed_sanctioned(&self, file: &Path, line: usize) -> bool {
+        self.seed_sanctioned
+            .iter()
+            .any(|(f, lo, hi)| f == file && (*lo..=*hi).contains(&line))
+    }
+
+    /// The declared key closest to `key` by edit distance, for "did you
+    /// mean" hints.
+    pub fn nearest_key(&self, key: &str) -> Option<&str> {
+        self.metric_keys
+            .iter()
+            .map(|k| (edit_distance(key, k), k.as_str()))
+            .min()
+            .map(|(_, k)| k)
+    }
+}
+
+/// Builds the index by reading the three anchor files under `root`.
+///
+/// # Errors
+///
+/// I/O errors reading the anchor files; a missing registry or RNG anchor is
+/// an error (the cross-file lints would be vacuous without them).
+pub fn build(root: &Path) -> io::Result<WorkspaceIndex> {
+    let read = |rel: &str| -> io::Result<String> {
+        fs::read_to_string(root.join(rel))
+            .map_err(|e| io::Error::new(e.kind(), format!("reading workspace anchor {rel}: {e}")))
+    };
+    let keys_src = read(KEYS_FILE)?;
+    let rng_src = read(RNG_FILE)?;
+    let checkpoint_src = read(CHECKPOINT_FILE)?;
+    Ok(from_sources(&keys_src, &rng_src, Some(&checkpoint_src)))
+}
+
+/// Builds the index from in-memory sources (the unit-test entry point).
+pub fn from_sources(keys_src: &str, rng_src: &str, checkpoint_src: Option<&str>) -> WorkspaceIndex {
+    let mut index = WorkspaceIndex::default();
+    collect_metric_keys(&lexer::lex(keys_src).tokens, &mut index);
+    collect_seed_spans(
+        &lexer::lex(rng_src).tokens,
+        PathBuf::from(RNG_FILE),
+        &mut index,
+    );
+    if let Some(src) = checkpoint_src {
+        index.checkpoint = checkpoint_schema(&lexer::lex(src).tokens);
+    }
+    index
+}
+
+/// Extracts `pub const NAME: &str = "...";` declarations.
+fn collect_metric_keys(tokens: &[Token], index: &mut WorkspaceIndex) {
+    for w in tokens.windows(7) {
+        let is_decl = w[0].kind == TokenKind::Ident
+            && w[0].text == "const"
+            && w[1].kind == TokenKind::Ident
+            && w[2].text == ":"
+            && w[3].text == "&"
+            && w[4].text == "str"
+            && w[5].text == "="
+            && w[6].kind == TokenKind::Str;
+        if !is_decl {
+            continue;
+        }
+        let value = w[6].text.clone();
+        if w[1].text.ends_with("_PREFIX") {
+            index.metric_key_prefixes.push(value);
+        } else {
+            index.metric_keys.insert(value);
+        }
+    }
+}
+
+/// Records the line span of every sanctioned seed-helper function body.
+fn collect_seed_spans(tokens: &[Token], file: PathBuf, index: &mut WorkspaceIndex) {
+    let mut k = 0;
+    while k + 1 < tokens.len() {
+        let is_helper_fn = tokens[k].kind == TokenKind::Ident
+            && tokens[k].text == "fn"
+            && SEED_HELPER_FNS.contains(&tokens[k + 1].text.as_str());
+        if !is_helper_fn {
+            k += 1;
+            continue;
+        }
+        let first_line = tokens[k].line;
+        // Walk to the body's opening brace, then to its matching close.
+        let mut j = k + 2;
+        while j < tokens.len() && tokens[j].text != "{" {
+            j += 1;
+        }
+        let mut depth = 0i64;
+        let mut last_line = first_line;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        last_line = tokens[j].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        index
+            .seed_sanctioned
+            .push((file.clone(), first_line, last_line));
+        k = j.max(k + 1);
+    }
+}
+
+/// Extracts `CHECKPOINT_VERSION` and fingerprints the non-test token
+/// stream.
+fn checkpoint_schema(tokens: &[Token]) -> Option<CheckpointSchema> {
+    let mut version = None;
+    for w in tokens.windows(7) {
+        let is_decl = w[0].text == "const"
+            && w[1].text == "CHECKPOINT_VERSION"
+            && w[2].text == ":"
+            && w[3].text == "u32"
+            && w[4].text == "="
+            && w[5].kind == TokenKind::Number;
+        if is_decl {
+            let parsed: Option<u32> = w[5].text.replace('_', "").parse().ok();
+            if let Some(v) = parsed {
+                version = Some((v, w[5].line, w[5].col));
+            }
+        }
+    }
+    let (version, version_line, version_col) = version?;
+    Some(CheckpointSchema {
+        version,
+        version_line,
+        version_col,
+        fingerprint: fingerprint_tokens(tokens),
+    })
+}
+
+/// FNV-1a 64 over the non-test token texts, newline-separated. Stable
+/// across reformatting, comment edits, and test-module churn.
+pub fn fingerprint_tokens(tokens: &[Token]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for token in tokens.iter().filter(|t| !t.in_test) {
+        for b in token.text.bytes() {
+            eat(b);
+        }
+        eat(b'\n');
+    }
+    hash
+}
+
+/// Levenshtein distance, small-string implementation for typo hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            let best = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            cur.push(best);
+        }
+        prev = cur;
+    }
+    prev.last().copied().unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEYS: &str = r#"
+pub const STRIKE_ITERATIONS: &str = "core.strike.iterations";
+pub const SPICE_RECOVERY_RUNG_PREFIX: &str = "spice.recovery.rung.";
+"#;
+
+    const RNG: &str = "impl X {\n    pub fn seed_from_u64(seed: u64) -> Self {\n        Self { s: seed ^ 1 }\n    }\n    pub fn other(x: u64) -> u64 {\n        x\n    }\n}\n";
+
+    #[test]
+    fn keys_and_prefixes_are_extracted() {
+        let idx = from_sources(KEYS, RNG, None);
+        assert!(idx.key_is_declared("core.strike.iterations"));
+        assert!(idx.key_is_declared("spice.recovery.rung.gmin-stepping.ok"));
+        assert!(!idx.key_is_declared("core.strike.iterationz"));
+        assert_eq!(
+            idx.nearest_key("core.strike.iterationz"),
+            Some("core.strike.iterations")
+        );
+    }
+
+    #[test]
+    fn seed_helper_spans_cover_bodies_only() {
+        let idx = from_sources(KEYS, RNG, None);
+        let rng_file = PathBuf::from(RNG_FILE);
+        assert!(idx.line_is_seed_sanctioned(&rng_file, 3));
+        assert!(!idx.line_is_seed_sanctioned(&rng_file, 6));
+    }
+
+    #[test]
+    fn checkpoint_fingerprint_tracks_code_not_comments() {
+        let base = "pub const CHECKPOINT_VERSION: u32 = 1;\nfn save() -> u64 { 41 }\n";
+        let commented =
+            "// a comment\npub const CHECKPOINT_VERSION: u32 = 1;\nfn save() -> u64 { 41 }\n";
+        let edited = "pub const CHECKPOINT_VERSION: u32 = 1;\nfn save() -> u64 { 42 }\n";
+        let with_test = format!("{base}#[cfg(test)]\nmod tests {{\n    fn t() {{}}\n}}\n");
+        let schema = |src: &str| {
+            from_sources(KEYS, RNG, Some(src))
+                .checkpoint
+                .expect("schema")
+        };
+        let a = schema(base);
+        assert_eq!(a.version, 1);
+        assert_eq!((a.version_line, a.version_col), (1, 37));
+        assert_eq!(a.fingerprint, schema(commented).fingerprint);
+        assert_eq!(a.fingerprint, schema(&with_test).fingerprint);
+        assert_ne!(a.fingerprint, schema(edited).fingerprint);
+    }
+
+    #[test]
+    fn missing_version_constant_yields_none() {
+        assert!(from_sources(KEYS, RNG, Some("fn save() {}\n"))
+            .checkpoint
+            .is_none());
+    }
+}

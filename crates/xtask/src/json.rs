@@ -338,4 +338,89 @@ mod tests {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
     }
+
+    #[test]
+    fn rejects_malformed_escapes() {
+        for bad in [
+            r#""\q""#,     // unknown escape
+            r#""\u12""#,   // truncated \u
+            r#""\u12zq""#, // non-hex \u digits
+            r#""\"#,       // backslash at end of input
+            r#""\u""#,     // \u with no digits at all
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parses_deeply_nested_values() {
+        // 200 levels of arrays then objects — the recursive parser must
+        // survive depths far beyond anything the lint report emits.
+        let depth = 200;
+        let arrays = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let mut v = parse(&arrays).unwrap();
+        for _ in 0..depth {
+            v = v.as_array().unwrap()[0].clone();
+        }
+        assert_eq!(v, Value::Number(1.0));
+
+        let objects = format!("{}0{}", r#"{"k":"#.repeat(depth), "}".repeat(depth));
+        let mut v = parse(&objects).unwrap();
+        for _ in 0..depth {
+            v = v.get("k").unwrap().clone();
+        }
+        assert_eq!(v, Value::Number(0.0));
+    }
+
+    #[test]
+    fn duplicate_keys_last_one_wins() {
+        // RFC 8259 leaves duplicate-name behavior undefined; this parser
+        // keeps the last binding, matching serde_json and most consumers.
+        let v = parse(r#"{"a":1,"a":2,"a":3}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Number(3.0)));
+    }
+
+    #[test]
+    fn lone_surrogates_decode_to_replacement_char() {
+        // An unpaired high surrogate cannot round-trip through char; the
+        // parser substitutes U+FFFD rather than rejecting the document.
+        assert_eq!(
+            parse(r#""\ud800x""#).unwrap(),
+            Value::String("\u{FFFD}x".into())
+        );
+        // Same for an unpaired low surrogate.
+        assert_eq!(
+            parse(r#""\udc00""#).unwrap(),
+            Value::String("\u{FFFD}".into())
+        );
+        // A well-formed pair still decodes to the supplementary char.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::String("😀".into()));
+    }
+
+    #[test]
+    fn negative_zero_parses_and_is_not_u64() {
+        let v = parse("-0").unwrap();
+        assert_eq!(v, Value::Number(0.0)); // -0.0 == 0.0 under IEEE equality
+        match v {
+            Value::Number(n) => assert!(n.is_sign_negative()),
+            _ => unreachable!(),
+        }
+        // as_u64 requires n >= 0 and integral; -0.0 satisfies both.
+        assert_eq!(v.as_u64(), Some(0));
+    }
+
+    #[test]
+    fn overflow_exponents_saturate_to_infinity() {
+        // f64::from_str maps 1e999 to +inf rather than erroring; the parser
+        // inherits that, and as_u64 correctly refuses the result.
+        match parse("1e999").unwrap() {
+            Value::Number(n) => assert_eq!(n, f64::INFINITY),
+            v => panic!("expected number, got {v:?}"),
+        }
+        match parse("-1e999").unwrap() {
+            Value::Number(n) => assert_eq!(n, f64::NEG_INFINITY),
+            v => panic!("expected number, got {v:?}"),
+        }
+        assert_eq!(parse("1e999").unwrap().as_u64(), None);
+    }
 }

@@ -1,0 +1,463 @@
+//! A std-only Rust lexer producing spanned tokens.
+//!
+//! The scrubbed-line view in [`crate::source`] is good for substring lints,
+//! but the cross-file lints (metric-key registry, seed discipline, shared
+//! state, checkpoint schema) need to see *string literal contents* and match
+//! multi-token patterns like `Ordering :: Relaxed` regardless of spacing.
+//! This lexer tokenizes one file into [`Token`]s carrying 1-indexed
+//! (line, col) spans measured in characters, so diagnostics are
+//! click-through accurate in editors and CI annotations.
+//!
+//! It is deliberately not a full Rust lexer: comments are skipped, raw
+//! identifiers and exotic suffixes degrade gracefully into adjacent tokens,
+//! and numbers are kept as raw text. That is all the downstream lints need,
+//! and it keeps the module dependency-free and obviously panic-free.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `static`, `Ordering`, ...).
+    Ident,
+    /// String literal (normal, byte, or raw); `text` holds the decoded
+    /// contents without quotes.
+    Str,
+    /// Char literal; `text` holds the raw contents without quotes.
+    Char,
+    /// Lifetime (`'a`); `text` holds the name without the tick.
+    Lifetime,
+    /// Numeric literal, kept as raw text (`0xD6E8`, `1.5e-3`, `4096`).
+    Number,
+    /// Any single punctuation character (`{`, `^`, `;`, ...).
+    Punct,
+}
+
+/// One token with its span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Token text; see [`TokenKind`] for per-kind conventions.
+    pub text: String,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+    /// 1-indexed character column of the token's first character.
+    pub col: usize,
+    /// Whether the token sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// A lexed file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Tokens in source order; comments and whitespace are absent.
+    pub tokens: Vec<Token>,
+}
+
+/// Lexes `src` into spanned tokens and tags `#[cfg(test)]` regions.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lx = Lexer {
+        chars: &chars,
+        i: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+    };
+    lx.run();
+    let mut tokens = lx.tokens;
+    tag_test_tokens(&mut tokens);
+    LexedFile { tokens }
+}
+
+struct Lexer<'a> {
+    chars: &'a [char],
+    i: usize,
+    line: usize,
+    col: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one character, updating the line/col cursor.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.bump();
+                }
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.skip_block_comment();
+            } else if c == '"' {
+                self.bump();
+                let text = self.string_body();
+                self.push(TokenKind::Str, text, line, col);
+            } else if self.is_raw_string_start() {
+                let text = self.raw_string();
+                self.push(TokenKind::Str, text, line, col);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.bump();
+                self.bump();
+                let text = self.string_body();
+                self.push(TokenKind::Str, text, line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else if c.is_alphabetic() || c == '_' {
+                let mut text = String::new();
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    text.push(self.bump().unwrap_or(' '));
+                }
+                self.push(TokenKind::Ident, text, line, col);
+            } else if c.is_ascii_digit() {
+                let text = self.number_body();
+                self.push(TokenKind::Number, text, line, col);
+            } else {
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line, col);
+            }
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// Consumes a string body after the opening quote, decoding the common
+    /// escapes; returns the contents.
+    fn string_body(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => match self.bump() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('0') => out.push('\0'),
+                    Some('u') => {
+                        // \u{XXXX}
+                        let mut hex = String::new();
+                        if self.peek(0) == Some('{') {
+                            self.bump();
+                            while self.peek(0).is_some_and(|c| c != '}') {
+                                hex.push(self.bump().unwrap_or(' '));
+                            }
+                            self.bump();
+                        }
+                        let decoded = u32::from_str_radix(&hex, 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                            .unwrap_or('\u{fffd}');
+                        out.push(decoded);
+                    }
+                    Some(other) => out.push(other),
+                    None => break,
+                },
+                _ => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn is_raw_string_start(&self) -> bool {
+        let mut j = 0;
+        if self.peek(j) == Some('b') {
+            j += 1;
+        }
+        if self.peek(j) != Some('r') {
+            return false;
+        }
+        j += 1;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        self.peek(j) == Some('"')
+    }
+
+    fn raw_string(&mut self) -> String {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        // `'a` (not closed by `'`) is a lifetime; `'a'` / `'\n'` is a char.
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        self.bump(); // tick
+        if is_char {
+            let mut text = String::new();
+            while let Some(c) = self.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+            }
+            self.push(TokenKind::Char, text, line, col);
+        } else {
+            let mut text = String::new();
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                text.push(self.bump().unwrap_or(' '));
+            }
+            self.push(TokenKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn number_body(&mut self) -> String {
+        let mut text = String::new();
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O'));
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap_or(' '));
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` and `1.max()` do not.
+                text.push(self.bump().unwrap_or(' '));
+            } else if (c == '+' || c == '-') && !radix_prefixed && text.ends_with(['e', 'E']) {
+                text.push(self.bump().unwrap_or(' '));
+            } else {
+                break;
+            }
+        }
+        text
+    }
+}
+
+/// Marks tokens inside `#[cfg(test)]` modules by tracking brace depth, the
+/// token-level twin of `source::tag_test_regions`.
+fn tag_test_tokens(tokens: &mut [Token]) {
+    let mut depth: i64 = 0;
+    // A `#[cfg(test)]` was seen and its item has not opened a brace yet;
+    // everything from the attribute to the item's `{` or `;` is test code.
+    let mut pending_attr = false;
+    let mut test_depth: Option<i64> = None;
+    let mut k = 0;
+    while k < tokens.len() {
+        if is_cfg_test_attr(tokens, k) {
+            pending_attr = true;
+            for t in tokens.iter_mut().skip(k).take(7) {
+                t.in_test = true;
+            }
+            k += 7;
+            continue;
+        }
+        let text = tokens[k].text.as_str();
+        let is_punct = tokens[k].kind == TokenKind::Punct;
+        match text {
+            "{" if is_punct => {
+                depth += 1;
+                if pending_attr && test_depth.is_none() {
+                    test_depth = Some(depth);
+                    pending_attr = false;
+                }
+                tokens[k].in_test = test_depth.is_some();
+            }
+            "}" if is_punct => {
+                tokens[k].in_test = test_depth.is_some();
+                if let Some(td) = test_depth {
+                    if depth <= td {
+                        test_depth = None;
+                    }
+                }
+                depth -= 1;
+            }
+            ";" if is_punct => {
+                tokens[k].in_test = test_depth.is_some() || pending_attr;
+                // `#[cfg(test)] use ...;` — the attribute was spent on a
+                // braceless item.
+                if pending_attr && test_depth.is_none() {
+                    pending_attr = false;
+                }
+            }
+            _ => tokens[k].in_test = test_depth.is_some() || pending_attr,
+        }
+        k += 1;
+    }
+}
+
+/// True when `tokens[k..]` begins the exact sequence `# [ cfg ( test ) ]`.
+fn is_cfg_test_attr(tokens: &[Token], k: usize) -> bool {
+    const SEQ: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    tokens.len() >= k + SEQ.len()
+        && SEQ
+            .iter()
+            .zip(&tokens[k..])
+            .all(|(want, tok)| tok.text == *want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn spans_are_one_indexed_chars() {
+        let lexed = lex("let x = 1;\n  counter_add(\"core.sram.flips\", 1);\n");
+        let key = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(key.text, "core.sram.flips");
+        assert_eq!((key.line, key.col), (2, 15));
+    }
+
+    #[test]
+    fn comments_and_whitespace_vanish() {
+        assert_eq!(
+            texts("a /* b */ c // d\ne"),
+            vec!["a".to_string(), "c".into(), "e".into()]
+        );
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let lexed = lex(r#"let s = "a\n\t\"\u{41}";"#);
+        let s = &lexed.tokens[3];
+        assert_eq!(s.kind, TokenKind::Str);
+        assert_eq!(s.text, "a\n\t\"A");
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex() {
+        let lexed = lex("let a = r#\"x\"y\"#; let b = b\"z\";");
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, vec!["x\"y".to_string(), "z".into()]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_are_distinct() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { '\\n' }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn numbers_keep_raw_text() {
+        assert_eq!(
+            texts("0xD6E8_FEB8 4096 1.5e-3 1..4"),
+            vec![
+                "0xD6E8_FEB8".to_string(),
+                "4096".into(),
+                "1.5e-3".into(),
+                "1".into(),
+                ".".into(),
+                ".".into(),
+                "4".into(),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_tokens_are_tagged() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { probe(); }\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        let probe = lexed.tokens.iter().find(|t| t.text == "probe").unwrap();
+        assert!(probe.in_test);
+        let lib = lexed.tokens.iter().find(|t| t.text == "lib").unwrap();
+        let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert!(!lib.in_test && !after.in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse helper::probe;\nfn real() {}\n";
+        let lexed = lex(src);
+        let real = lexed.tokens.iter().find(|t| t.text == "real").unwrap();
+        assert!(!real.in_test);
+    }
+}

@@ -1,7 +1,10 @@
 //! Workspace automation for the `finrad` repo — chiefly `cargo xtask lint`,
 //! a dependency-free static-analysis gate over every workspace `.rs` source.
 //!
-//! The gate enforces four domain lint families (see [`lints`]):
+//! The gate runs in two phases. Phase 1 builds a [`index::WorkspaceIndex`]
+//! from three anchor files (the metric-key registry, the sanctioned RNG
+//! seed-derivation helpers, and the checkpoint codec). Phase 2 lints every
+//! file against nine families (see [`lints`]):
 //!
 //! * `unit-safety` — public physics APIs must use `finrad-units` newtypes,
 //!   not bare `f64`, for dimensioned parameters and returns.
@@ -11,6 +14,15 @@
 //!   slice indexing in non-test library code.
 //! * `float-discipline` — no `f32`, float `==`/`!=`, or
 //!   `partial_cmp().unwrap()`.
+//! * `metrics-key-registry` — metric-key literals at Recorder call sites
+//!   must be declared in `crates/observe/src/keys.rs`.
+//! * `seed-discipline` — RNG seed arithmetic only inside the sanctioned
+//!   helpers in `crates/numerics/src/rng.rs`.
+//! * `shared-state-audit` — no `static mut`, `thread_local!`, or
+//!   `Ordering::Relaxed` in library code.
+//! * `checkpoint-schema-drift` — the checkpoint codec cannot change without
+//!   a `CHECKPOINT_VERSION` bump (fingerprint pinned in the baseline).
+//! * `unused-suppression` — `allow(...)` directives must still fire.
 //!
 //! Known debt is budgeted in `xtask/lint-baseline.toml` (see [`baseline`]);
 //! individual sites are suppressed with `// finrad-lint: allow(<id>)`. The
@@ -21,7 +33,9 @@
 
 pub mod baseline;
 pub mod bench;
+pub mod index;
 pub mod json;
+pub mod lexer;
 pub mod lints;
 pub mod report;
 pub mod source;
@@ -29,13 +43,30 @@ pub mod source;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use index::WorkspaceIndex;
 use lints::{Violation, UNIT_SAFETY_CRATES};
 
-/// Lints one file's source text; `rel_path` is used for reporting and for
-/// deciding whether the unit-safety family applies.
+/// Lints one file's source text without a workspace index (the metric-key
+/// family is skipped; the seed family has no sanctioned regions).
+/// `rel_path` is used for reporting and for deciding whether the
+/// unit-safety family applies.
 pub fn lint_file_source(rel_path: &Path, text: &str, unit_safety: bool) -> Vec<Violation> {
     let scrubbed = source::scrub(text);
-    lints::lint_source(rel_path, &scrubbed, unit_safety)
+    let lexed = lexer::lex(text);
+    lints::lint_file(rel_path, &scrubbed, &lexed, unit_safety, None)
+}
+
+/// Lints one file's source text against a phase-1 workspace index,
+/// enabling the cross-file families.
+pub fn lint_file_source_with_index(
+    rel_path: &Path,
+    text: &str,
+    unit_safety: bool,
+    index: &WorkspaceIndex,
+) -> Vec<Violation> {
+    let scrubbed = source::scrub(text);
+    let lexed = lexer::lex(text);
+    lints::lint_file(rel_path, &scrubbed, &lexed, unit_safety, Some(index))
 }
 
 /// Result of scanning a source tree.
@@ -43,14 +74,20 @@ pub fn lint_file_source(rel_path: &Path, text: &str, unit_safety: bool) -> Vec<V
 pub struct ScanResult {
     /// Number of `.rs` files linted.
     pub files_scanned: usize,
-    /// All violations, ordered by (file, line).
+    /// All per-file violations, ordered by (file, line, col). The
+    /// workspace-level `checkpoint-schema-drift` check is *not* included —
+    /// it needs the baseline, so the caller runs
+    /// [`lints::checkpoint_drift`] against `index`.
     pub violations: Vec<Violation>,
+    /// The phase-1 symbol index the lints ran against.
+    pub index: WorkspaceIndex,
 }
 
 /// Scans the workspace rooted at `root`: the facade crate's `src/` plus
 /// every `crates/*/src/` except `crates/xtask` itself. Binary targets
 /// (`src/bin/`) are skipped — the lint families target *library* code.
 pub fn scan_tree(root: &Path) -> io::Result<ScanResult> {
+    let index = index::build(root)?;
     let mut files: Vec<(PathBuf, bool)> = Vec::new();
 
     let facade = root.join("src");
@@ -82,12 +119,18 @@ pub fn scan_tree(root: &Path) -> io::Result<ScanResult> {
     for (path, unit_safety) in &files {
         let text = std::fs::read_to_string(path)?;
         let rel = path.strip_prefix(root).unwrap_or(path);
-        violations.extend(lint_file_source(rel, &text, *unit_safety));
+        violations.extend(lint_file_source_with_index(
+            rel,
+            &text,
+            *unit_safety,
+            &index,
+        ));
     }
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    violations.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     Ok(ScanResult {
         files_scanned: files.len(),
         violations,
+        index,
     })
 }
 

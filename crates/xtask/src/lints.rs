@@ -1,13 +1,25 @@
-//! The four domain lint families.
+//! The lint families.
 //!
-//! All lints operate on a [`ScrubbedSource`](crate::source::ScrubbedSource)
-//! so comments and literals can never produce false positives, and all of
-//! them honour `// finrad-lint: allow(<id>)` on the violation line or the
-//! line above.
+//! Per-file lints operate on a [`ScrubbedSource`](crate::source::ScrubbedSource)
+//! (substring families inherited from PR 1) and on a
+//! [`LexedFile`](crate::lexer::LexedFile) (token families added with the
+//! workspace analyzer), so comments and literals can never produce false
+//! positives. The cross-file families additionally consult the phase-1
+//! [`WorkspaceIndex`](crate::index::WorkspaceIndex). All lints honour
+//! `// finrad-lint: allow(<id>)` on the violation line, or on the line
+//! above when the directive is a standalone comment; directives that
+//! suppress nothing are themselves reported by the `unused-suppression`
+//! audit, so the allow inventory can only ratchet down.
+//!
+//! Every violation carries a 1-indexed (line, col) span. Columns are
+//! measured in characters of the original line — the scrubber and the lexer
+//! both preserve columns exactly for this reason.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use crate::index::{WorkspaceIndex, CHECKPOINT_FILE};
+use crate::lexer::{LexedFile, TokenKind};
 use crate::source::ScrubbedSource;
 
 /// Identifier of a lint family.
@@ -22,6 +34,20 @@ pub enum LintId {
     PanicFreedom,
     /// `f32`, float `==`/`!=`, and `partial_cmp().unwrap()` patterns.
     FloatDiscipline,
+    /// Metric-key string literals at Recorder call sites must be declared
+    /// in `crates/observe/src/keys.rs`.
+    MetricsKeyRegistry,
+    /// RNG seed arithmetic outside the sanctioned derivation helpers in
+    /// `crates/numerics/src/rng.rs`.
+    SeedDiscipline,
+    /// `static mut`, `thread_local!`, and `Ordering::Relaxed` in library
+    /// code — shared-state hazards for the parallel Monte-Carlo paths.
+    SharedStateAudit,
+    /// The checkpoint (de)serialization region changed without a
+    /// `CHECKPOINT_VERSION` bump (fingerprint recorded in the baseline).
+    CheckpointSchemaDrift,
+    /// An `allow(...)` directive that no longer suppresses anything.
+    UnusedSuppression,
 }
 
 impl LintId {
@@ -33,15 +59,35 @@ impl LintId {
             LintId::RngDeterminism => "rng-determinism",
             LintId::PanicFreedom => "panic-freedom",
             LintId::FloatDiscipline => "float-discipline",
+            LintId::MetricsKeyRegistry => "metrics-key-registry",
+            LintId::SeedDiscipline => "seed-discipline",
+            LintId::SharedStateAudit => "shared-state-audit",
+            LintId::CheckpointSchemaDrift => "checkpoint-schema-drift",
+            LintId::UnusedSuppression => "unused-suppression",
         }
     }
 
+    /// Whether violations of this family may be parked in the ratchet
+    /// baseline. Determinism breaks, schema drift, and stale suppressions
+    /// must be fixed, never budgeted.
+    pub fn baselineable(self) -> bool {
+        !matches!(
+            self,
+            LintId::RngDeterminism | LintId::CheckpointSchemaDrift | LintId::UnusedSuppression
+        )
+    }
+
     /// Every lint family, in reporting order.
-    pub const ALL: [LintId; 4] = [
+    pub const ALL: [LintId; 9] = [
         LintId::UnitSafety,
         LintId::RngDeterminism,
         LintId::PanicFreedom,
         LintId::FloatDiscipline,
+        LintId::MetricsKeyRegistry,
+        LintId::SeedDiscipline,
+        LintId::SharedStateAudit,
+        LintId::CheckpointSchemaDrift,
+        LintId::UnusedSuppression,
     ];
 }
 
@@ -60,6 +106,8 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-indexed line.
     pub line: usize,
+    /// 1-indexed character column.
+    pub col: usize,
     /// Human-readable description.
     pub message: String,
 }
@@ -68,9 +116,10 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}:{}: [{}] {}",
             self.file.display(),
             self.line,
+            self.col,
             self.lint,
             self.message
         )
@@ -88,11 +137,21 @@ pub const UNIT_SAFETY_CRATES: [&str; 6] = [
     "environment",
 ];
 
-/// Runs every lint family over one scrubbed file.
+/// Runs every per-file lint family over one file and applies suppression.
 ///
-/// `unit_safety` gates the unit-safety family: it only applies to the
-/// physics crates listed in [`UNIT_SAFETY_CRATES`].
-pub fn lint_source(path: &Path, src: &ScrubbedSource, unit_safety: bool) -> Vec<Violation> {
+/// `unit_safety` gates the unit-safety family (it only applies to the
+/// physics crates in [`UNIT_SAFETY_CRATES`]). `index` enables the
+/// cross-file families; without it the metric-key lint is skipped and the
+/// seed lint has no sanctioned regions (fine for fixtures outside
+/// `rng.rs`). Checkpoint drift is a workspace-level check and is reported
+/// by [`checkpoint_drift`], not here.
+pub fn lint_file(
+    path: &Path,
+    src: &ScrubbedSource,
+    lexed: &LexedFile,
+    unit_safety: bool,
+    index: Option<&WorkspaceIndex>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     if unit_safety {
         lint_unit_safety(path, src, &mut out);
@@ -100,9 +159,76 @@ pub fn lint_source(path: &Path, src: &ScrubbedSource, unit_safety: bool) -> Vec<
     lint_rng_determinism(path, src, &mut out);
     lint_panic_freedom(path, src, &mut out);
     lint_float_discipline(path, src, &mut out);
-    out.retain(|v| !src.is_allowed(v.lint.as_str(), v.line));
-    out.sort_by_key(|v| (v.line, v.lint));
+    if let Some(index) = index {
+        lint_metrics_keys(path, lexed, index, &mut out);
+    }
+    lint_seed_discipline(path, lexed, index, &mut out);
+    lint_shared_state(path, lexed, &mut out);
+    let mut out = apply_suppressions(path, src, out);
+    out.sort_by_key(|v| (v.line, v.col, v.lint));
     out
+}
+
+/// Drops violations covered by `allow(...)` directives and reports
+/// directives that covered nothing as `unused-suppression` violations.
+/// Directives inside `#[cfg(test)]` regions are never audited (most
+/// families are test-exempt, so they legitimately may not fire).
+pub fn apply_suppressions(
+    path: &Path,
+    src: &ScrubbedSource,
+    raw: Vec<Violation>,
+) -> Vec<Violation> {
+    let mut used: Vec<Vec<bool>> = src
+        .lines
+        .iter()
+        .map(|l| vec![false; l.allows.len()])
+        .collect();
+    let mut kept = Vec::new();
+    for v in raw {
+        let idx = v.line.saturating_sub(1);
+        let mut suppressed = false;
+        if let Some(line) = src.lines.get(idx) {
+            for (ai, allow) in line.allows.iter().enumerate() {
+                if allow.id == v.lint.as_str() || allow.id == "all" {
+                    used[idx][ai] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if idx > 0 {
+            if let Some(line) = src.lines.get(idx - 1) {
+                for (ai, allow) in line.allows.iter().enumerate() {
+                    if allow.standalone && (allow.id == v.lint.as_str() || allow.id == "all") {
+                        used[idx - 1][ai] = true;
+                        suppressed = true;
+                    }
+                }
+            }
+        }
+        if !suppressed {
+            kept.push(v);
+        }
+    }
+    for (li, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (ai, allow) in line.allows.iter().enumerate() {
+            if !used[li][ai] {
+                kept.push(Violation {
+                    lint: LintId::UnusedSuppression,
+                    file: path.to_path_buf(),
+                    line: li + 1,
+                    col: allow.col,
+                    message: format!(
+                        "`allow({})` suppresses nothing; remove the stale directive",
+                        allow.id
+                    ),
+                });
+            }
+        }
+    }
+    kept
 }
 
 // ---------------------------------------------------------------------------
@@ -131,11 +257,12 @@ const RNG_FORBIDDEN: [(&str, &str); 4] = [
 fn lint_rng_determinism(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>) {
     for (idx, line) in src.lines.iter().enumerate() {
         for (needle, why) in RNG_FORBIDDEN {
-            if contains_word(&line.code, needle) {
+            if let Some(at) = find_word(&line.code, needle) {
                 out.push(Violation {
                     lint: LintId::RngDeterminism,
                     file: path.to_path_buf(),
                     line: idx + 1,
+                    col: at + 1,
                     message: format!(
                         "`{needle}`: {why}; seed a `finrad_numerics::rng::Xoshiro256pp` instead"
                     ),
@@ -157,11 +284,12 @@ fn lint_panic_freedom(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation
             continue;
         }
         for pat in PANIC_PATTERNS {
-            if line.code.contains(pat) {
+            if let Some(at) = line.code.find(pat) {
                 out.push(Violation {
                     lint: LintId::PanicFreedom,
                     file: path.to_path_buf(),
                     line: idx + 1,
+                    col: at + 2, // skip the leading `.` of method patterns
                     message: format!(
                         "`{}` can panic in library code; return a Result or document the invariant with an allow",
                         pat.trim_start_matches('.').trim_end_matches('(')
@@ -169,11 +297,12 @@ fn lint_panic_freedom(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation
                 });
             }
         }
-        for name in lut_index_idents(&line.code) {
+        for (at, name) in lut_index_idents(&line.code) {
             out.push(Violation {
                 lint: LintId::PanicFreedom,
                 file: path.to_path_buf(),
                 line: idx + 1,
+                col: at + 1,
                 message: format!(
                     "direct slice indexing on LUT `{name}` can panic on out-of-range lookups; use `.get()` or a checked interpolation call"
                 ),
@@ -183,8 +312,8 @@ fn lint_panic_freedom(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation
 }
 
 /// Identifiers ending in `lut` or `table` that are immediately indexed with
-/// `[`.
-fn lut_index_idents(code: &str) -> Vec<String> {
+/// `[`, with the char offset of the identifier start.
+fn lut_index_idents(code: &str) -> Vec<(usize, String)> {
     let chars: Vec<char> = code.chars().collect();
     let mut found = Vec::new();
     for (i, &c) in chars.iter().enumerate() {
@@ -201,7 +330,7 @@ fn lut_index_idents(code: &str) -> Vec<String> {
         let ident: String = chars[start..i].iter().collect();
         let lower = ident.to_lowercase();
         if lower.ends_with("lut") || lower.ends_with("table") {
-            found.push(ident);
+            found.push((start, ident));
         }
     }
     found
@@ -217,32 +346,36 @@ fn lint_float_discipline(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violat
             continue;
         }
         let code = &line.code;
-        if contains_word(code, "f32") {
+        if let Some(at) = find_word(code, "f32") {
             out.push(Violation {
                 lint: LintId::FloatDiscipline,
                 file: path.to_path_buf(),
                 line: idx + 1,
+                col: at + 1,
                 message: "`f32` loses precision the transport/circuit chain needs; use `f64`"
                     .to_string(),
             });
         }
-        if code.contains("partial_cmp") && (code.contains(".unwrap()") || code.contains(".expect("))
-        {
-            out.push(Violation {
-                lint: LintId::FloatDiscipline,
-                file: path.to_path_buf(),
-                line: idx + 1,
-                message:
-                    "`partial_cmp().unwrap()` panics on NaN; use `f64::total_cmp` for a total order"
-                        .to_string(),
-            });
+        if let Some(at) = code.find("partial_cmp") {
+            if code.contains(".unwrap()") || code.contains(".expect(") {
+                out.push(Violation {
+                    lint: LintId::FloatDiscipline,
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    col: at + 1,
+                    message:
+                        "`partial_cmp().unwrap()` panics on NaN; use `f64::total_cmp` for a total order"
+                            .to_string(),
+                });
+            }
         }
-        for col in float_eq_positions(code) {
-            let op = &code[col..col + 2];
+        for at in float_eq_positions(code) {
+            let op = &code[at..at + 2];
             out.push(Violation {
                 lint: LintId::FloatDiscipline,
                 file: path.to_path_buf(),
                 line: idx + 1,
+                col: at + 1,
                 message: format!(
                     "`{op}` against a float literal is exact-equality on floats; compare with a tolerance or allow() the sentinel"
                 ),
@@ -319,6 +452,228 @@ fn is_float_literal(tok: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// metrics-key-registry
+// ---------------------------------------------------------------------------
+
+/// Recorder entry points whose first argument is a metric key.
+const RECORDER_CALLS: [&str; 3] = ["counter_add", "record", "span"];
+
+fn lint_metrics_keys(
+    path: &Path,
+    lexed: &LexedFile,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Violation>,
+) {
+    for w in lexed.tokens.windows(3) {
+        let is_keyed_call = w[0].kind == TokenKind::Ident
+            && RECORDER_CALLS.contains(&w[0].text.as_str())
+            && w[1].text == "("
+            && w[2].kind == TokenKind::Str;
+        if !is_keyed_call || w[2].in_test {
+            continue;
+        }
+        let key = &w[2].text;
+        if index.key_is_declared(key) {
+            continue;
+        }
+        let hint = match index.nearest_key(key) {
+            Some(near) => format!("; did you mean `{near}`?"),
+            None => String::new(),
+        };
+        out.push(Violation {
+            lint: LintId::MetricsKeyRegistry,
+            file: path.to_path_buf(),
+            line: w[2].line,
+            col: w[2].col,
+            message: format!(
+                "metric key \"{key}\" is not declared in crates/observe/src/keys.rs — undeclared keys silently vanish from BENCH trajectories{hint}"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// seed-discipline
+// ---------------------------------------------------------------------------
+
+/// Method names that indicate seed arithmetic inside a constructor call.
+const SEED_ARITH_METHODS: [&str; 6] = [
+    "wrapping_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "rotate_left",
+    "rotate_right",
+    "swap_bytes",
+];
+const SEED_ARITH_OPS: [char; 9] = ['^', '+', '-', '*', '/', '%', '&', '|', '<'];
+
+fn lint_seed_discipline(
+    path: &Path,
+    lexed: &LexedFile,
+    index: Option<&WorkspaceIndex>,
+    out: &mut Vec<Violation>,
+) {
+    let sanctioned = |line: usize| index.is_some_and(|ix| ix.line_is_seed_sanctioned(path, line));
+    let tokens = &lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.in_test || tok.kind != TokenKind::Ident || sanctioned(tok.line) {
+            continue;
+        }
+        if tok.text == "seed_from_u64" && tokens.get(i + 1).is_some_and(|t| t.text == "(") {
+            // Scan the argument list for derivation arithmetic; a bare
+            // ident/field/literal seed is fine.
+            let mut depth = 0i64;
+            let mut adhoc = false;
+            for t in &tokens[i + 1..] {
+                match t.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                let is_op = t.kind == TokenKind::Punct
+                    && t.text
+                        .chars()
+                        .next()
+                        .is_some_and(|c| SEED_ARITH_OPS.contains(&c));
+                let is_arith_method =
+                    t.kind == TokenKind::Ident && SEED_ARITH_METHODS.contains(&t.text.as_str());
+                if is_op || is_arith_method {
+                    adhoc = true;
+                }
+            }
+            if adhoc {
+                out.push(Violation {
+                    lint: LintId::SeedDiscipline,
+                    file: path.to_path_buf(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: "ad-hoc seed arithmetic in `seed_from_u64(...)`; derive parallel streams with `Xoshiro256pp::stream`/`salted_stream` so chunk seeding stays bit-stable"
+                        .to_string(),
+                });
+            }
+        }
+        let is_splitmix_new = tok.text == "SplitMix64"
+            && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+            && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+            && tokens.get(i + 3).is_some_and(|t| t.text == "new");
+        if is_splitmix_new {
+            out.push(Violation {
+                lint: LintId::SeedDiscipline,
+                file: path.to_path_buf(),
+                line: tok.line,
+                col: tok.col,
+                message: "`SplitMix64` is the seed-expansion engine internal to `finrad_numerics::rng`; construct `Xoshiro256pp` through its sanctioned helpers instead"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared-state-audit
+// ---------------------------------------------------------------------------
+
+fn lint_shared_state(path: &Path, lexed: &LexedFile, out: &mut Vec<Violation>) {
+    let tokens = &lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.in_test || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "static" if tokens.get(i + 1).is_some_and(|t| t.text == "mut") => {
+                out.push(Violation {
+                    lint: LintId::SharedStateAudit,
+                    file: path.to_path_buf(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: "`static mut` is unsynchronized shared state; use an atomic, a lock, or pass state explicitly"
+                        .to_string(),
+                });
+            }
+            "thread_local" if tokens.get(i + 1).is_some_and(|t| t.text == "!") => {
+                out.push(Violation {
+                    lint: LintId::SharedStateAudit,
+                    file: path.to_path_buf(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: "`thread_local!` state diverges across workers and breaks core-count bit-identity of the parallel MC; derive per-chunk state instead"
+                        .to_string(),
+                });
+            }
+            "Relaxed"
+                if i >= 3
+                    && tokens[i - 1].text == ":"
+                    && tokens[i - 2].text == ":"
+                    && tokens[i - 3].text == "Ordering" =>
+            {
+                out.push(Violation {
+                    lint: LintId::SharedStateAudit,
+                    file: path.to_path_buf(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: "`Ordering::Relaxed` gives no cross-thread ordering; use `SeqCst`, or allow() a documented monotonic counter"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint-schema-drift
+// ---------------------------------------------------------------------------
+
+/// Compares the live checkpoint schema in `index` against the
+/// `(fingerprint, format-version)` pair recorded in the baseline. Returns
+/// workspace-level violations anchored at the `CHECKPOINT_VERSION`
+/// constant.
+pub fn checkpoint_drift(index: &WorkspaceIndex, recorded: Option<(u64, u32)>) -> Vec<Violation> {
+    let file = PathBuf::from(CHECKPOINT_FILE);
+    let Some(schema) = &index.checkpoint else {
+        return vec![Violation {
+            lint: LintId::CheckpointSchemaDrift,
+            file,
+            line: 1,
+            col: 1,
+            message: "`CHECKPOINT_VERSION: u32` constant not found; the checkpoint codec must declare its format version"
+                .to_string(),
+        }];
+    };
+    let at = |message: String| Violation {
+        lint: LintId::CheckpointSchemaDrift,
+        file: file.clone(),
+        line: schema.version_line,
+        col: schema.version_col,
+        message,
+    };
+    match recorded {
+        None => vec![at(
+            "no recorded checkpoint schema fingerprint in xtask/lint-baseline.toml; run `cargo xtask lint --fix-allowlist` to record it"
+                .to_string(),
+        )],
+        Some((fp, ver)) if fp != schema.fingerprint && ver == schema.version => vec![at(format!(
+            "checkpoint (de)serialization code changed (fingerprint {:016x} -> {:016x}) without a CHECKPOINT_VERSION bump; bump the version and refresh with `cargo xtask lint --fix-allowlist`",
+            fp, schema.fingerprint
+        ))],
+        Some((fp, _)) if fp != schema.fingerprint => vec![at(format!(
+            "CHECKPOINT_VERSION bumped to {}; refresh the recorded schema fingerprint with `cargo xtask lint --fix-allowlist`",
+            schema.version
+        ))],
+        Some((_, ver)) if ver != schema.version => vec![at(format!(
+            "recorded format-version {} does not match CHECKPOINT_VERSION {}; refresh with `cargo xtask lint --fix-allowlist`",
+            ver, schema.version
+        ))],
+        Some(_) => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // unit-safety
 // ---------------------------------------------------------------------------
 
@@ -353,7 +708,7 @@ fn matches_unit_vocab(name: &str) -> bool {
 
 fn lint_unit_safety(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>) {
     // Join non-test lines (blanking test ones) so multi-line signatures can
-    // be reassembled while keeping a byte-offset → line mapping.
+    // be reassembled while keeping a byte-offset → (line, col) mapping.
     let mut joined = String::new();
     let mut line_starts = Vec::with_capacity(src.lines.len());
     for line in &src.lines {
@@ -365,11 +720,18 @@ fn lint_unit_safety(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>)
             joined.push('\n');
         }
     }
-    let line_of = |offset: usize| -> usize {
-        match line_starts.binary_search(&offset) {
+    let line_col_of = |offset: usize| -> (usize, usize) {
+        let line = match line_starts.binary_search(&offset) {
             Ok(i) => i + 1,
             Err(i) => i,
-        }
+        };
+        let col = offset
+            - line_starts
+                .get(line.saturating_sub(1))
+                .copied()
+                .unwrap_or(0)
+            + 1;
+        (line, col)
     };
 
     let mut search_from = 0;
@@ -397,10 +759,12 @@ fn lint_unit_safety(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>)
             if ptype.trim() == "f64" && matches_unit_vocab(pname) {
                 let leading_ws = param.len() - param.trim_start().len();
                 let offset = fn_start + open + 1 + param_rel + leading_ws;
+                let (line, col) = line_col_of(offset);
                 out.push(Violation {
                     lint: LintId::UnitSafety,
                     file: path.to_path_buf(),
-                    line: line_of(offset),
+                    line,
+                    col,
                     message: format!(
                         "`pub fn {name}` takes `{pname}: f64`; use the matching finrad-units newtype"
                     ),
@@ -415,10 +779,12 @@ fn lint_unit_safety(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>)
                 .unwrap_or("")
                 .trim();
             if ret_ty == "f64" && matches_unit_vocab(&name) {
+                let (line, col) = line_col_of(fn_start);
                 out.push(Violation {
                     lint: LintId::UnitSafety,
                     file: path.to_path_buf(),
-                    line: line_of(fn_start),
+                    line,
+                    col,
                     message: format!(
                         "`pub fn {name}` returns bare `f64`; use the matching finrad-units newtype"
                     ),
@@ -477,8 +843,9 @@ fn split_top_level(params: &str) -> Vec<(usize, &str)> {
     out
 }
 
-/// True when `code` contains `word` bounded by non-identifier characters.
-fn contains_word(code: &str, word: &str) -> bool {
+/// Byte offset of the first occurrence of `word` bounded by non-identifier
+/// characters (scrubbed lines are ASCII-blanked, so byte == char offset).
+fn find_word(code: &str, word: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(rel) = code[from..].find(word) {
         let at = from + rel;
@@ -494,21 +861,28 @@ fn contains_word(code: &str, word: &str) -> bool {
                 .next()
                 .is_some_and(|c| c.is_alphanumeric() || c == '_');
         if before_ok && after_ok {
-            return true;
+            return Some(at);
         }
         from = at + word.len();
     }
-    false
+    None
+}
+
+/// True when `code` contains `word` bounded by non-identifier characters.
+#[cfg(test)]
+fn contains_word(code: &str, word: &str) -> bool {
+    find_word(code, word).is_some()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
     use crate::source::scrub;
     use std::path::Path;
 
     fn run(src: &str) -> Vec<Violation> {
-        lint_source(Path::new("x.rs"), &scrub(src), true)
+        lint_file(Path::new("x.rs"), &scrub(src), &lex(src), true, None)
     }
 
     #[test]
@@ -535,6 +909,7 @@ mod tests {
         let v = run("fn f(a: f64) -> bool { a == 0.0 }\n");
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].lint, LintId::FloatDiscipline);
+        assert_eq!((v[0].line, v[0].col), (1, 26));
         assert!(run("fn f(a: usize) -> bool { a == 0 }\n").is_empty());
         assert!(run("fn f(a: f64) -> bool { a <= 0.0 }\n").is_empty());
     }
@@ -545,8 +920,8 @@ mod tests {
         let v = run(src);
         assert_eq!(v.len(), 2);
         assert_eq!(v[0].lint, LintId::UnitSafety);
-        assert_eq!(v[0].line, 2);
-        assert_eq!(v[1].line, 3);
+        assert_eq!((v[0].line, v[0].col), (2, 5));
+        assert_eq!((v[1].line, v[1].col), (3, 5));
     }
 
     #[test]
@@ -554,6 +929,7 @@ mod tests {
         let v = run("pub fn vdd(&self) -> f64 { 0.8 }\n");
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("returns bare `f64`"));
+        assert_eq!((v[0].line, v[0].col), (1, 1));
     }
 
     #[test]
@@ -568,13 +944,33 @@ mod tests {
         let v = run("fn f() { let y = self.pair_lut[i]; }\n");
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("pair_lut"));
+        assert_eq!(v[0].col, 23);
         assert!(run("fn f() { let y = self.pair_lut.get(i); }\n").is_empty());
     }
 
     #[test]
-    fn allow_suppresses() {
+    fn allow_suppresses_and_counts_as_used() {
         let src = "fn f() {\n    // finrad-lint: allow(panic-freedom)\n    x.unwrap();\n}\n";
         assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// finrad-lint: allow(panic-freedom)\nfn f() -> u64 { 7 }\n";
+        let v = run(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, LintId::UnusedSuppression);
+        assert_eq!((v[0].line, v[0].col), (1, 4));
+    }
+
+    #[test]
+    fn trailing_allow_no_longer_covers_next_line() {
+        let src =
+            "fn f() {\n    a.unwrap(); // finrad-lint: allow(panic-freedom)\n    b.unwrap();\n}\n";
+        let v = run(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, LintId::PanicFreedom);
+        assert_eq!(v[0].line, 3);
     }
 
     #[test]
@@ -584,5 +980,46 @@ mod tests {
         let v = run(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].lint, LintId::RngDeterminism);
+    }
+
+    #[test]
+    fn shared_state_patterns_fire_with_spans() {
+        let src = "pub static mut TALLY: u64 = 0;\nfn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let v = run(src);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].lint, LintId::SharedStateAudit);
+        assert_eq!((v[0].line, v[0].col), (1, 5));
+        assert!(v[1].message.contains("Relaxed"));
+    }
+
+    #[test]
+    fn seed_discipline_flags_arithmetic_not_bare_seeds() {
+        assert!(run("fn f(s: u64) { let r = Xoshiro256pp::seed_from_u64(s); }\n").is_empty());
+        let v = run(
+            "fn f(s: u64, c: u64) { let r = Xoshiro256pp::seed_from_u64(s ^ c.wrapping_mul(3)); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, LintId::SeedDiscipline);
+    }
+
+    #[test]
+    fn checkpoint_drift_states() {
+        use crate::index;
+        let src = "pub const CHECKPOINT_VERSION: u32 = 2;\nfn save() -> u64 { 41 }\n";
+        let ix = index::from_sources("", "", Some(src));
+        let schema = ix.checkpoint.clone().expect("schema");
+        assert!(checkpoint_drift(&ix, Some((schema.fingerprint, 2))).is_empty());
+        let drifted = checkpoint_drift(&ix, Some((schema.fingerprint ^ 1, 2)));
+        assert_eq!(drifted.len(), 1);
+        assert!(drifted[0]
+            .message
+            .contains("without a CHECKPOINT_VERSION bump"));
+        assert_eq!(drifted[0].line, schema.version_line);
+        let bumped = checkpoint_drift(&ix, Some((schema.fingerprint ^ 1, 1)));
+        assert!(bumped[0]
+            .message
+            .contains("refresh the recorded schema fingerprint"));
+        let unrecorded = checkpoint_drift(&ix, None);
+        assert!(unrecorded[0].message.contains("no recorded checkpoint"));
     }
 }

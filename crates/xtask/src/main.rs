@@ -1,14 +1,16 @@
 //! `cargo xtask` — workspace automation entry point.
 //!
 //! ```text
-//! cargo xtask lint                  # report; fail on non-baselined debt
-//! cargo xtask lint --deny-all       # CI mode: also fail on stale baseline
-//! cargo xtask lint --fix-allowlist  # rewrite xtask/lint-baseline.toml
-//! cargo xtask lint --json <path|->  # machine-readable report
-//! cargo xtask lint --max <lint>=<N> # fail when a class's total exceeds N
-//! cargo xtask bench                 # write BENCH_<n>.json trajectory file
-//! cargo xtask bench --smoke         # fast CI variant (25 ms/bench budget)
-//! cargo xtask bench --check <path>  # validate an existing trajectory file
+//! cargo xtask lint                    # report; fail on non-baselined debt
+//! cargo xtask lint --deny-all         # CI mode: also fail on stale baseline
+//! cargo xtask lint --fix-allowlist    # rewrite xtask/lint-baseline.toml
+//! cargo xtask lint --json <path|->    # write the JSON report to a file/stdout
+//! cargo xtask lint --format json      # pure JSON on stdout, human notes on stderr
+//! cargo xtask lint --check-report <p> # schema-validate an existing JSON report
+//! cargo xtask lint --max <lint>=<N>   # fail when a class's total exceeds N
+//! cargo xtask bench                   # write BENCH_<n>.json trajectory file
+//! cargo xtask bench --smoke           # fast CI variant (25 ms/bench budget)
+//! cargo xtask bench --check <path>    # validate an existing trajectory file
 //! ```
 
 #![forbid(unsafe_code)]
@@ -19,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use xtask::baseline::{self, Baseline, BASELINE_PATH};
-use xtask::lints::LintId;
+use xtask::lints::{self, LintId};
 use xtask::report;
 
 fn main() -> ExitCode {
@@ -39,7 +41,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: cargo xtask lint [--deny-all] [--fix-allowlist] [--json <path|->] \
-[--max <lint>=<N>]\n       cargo xtask bench [--smoke] [--out <path>] [--check <path>]";
+[--format json] [--check-report <path>] [--max <lint>=<N>]\n       \
+cargo xtask bench [--smoke] [--out <path>] [--check <path>]";
 
 const BENCH_USAGE: &str = "usage: cargo xtask bench [--smoke] [--out <path>] [--check <path>]";
 
@@ -203,6 +206,8 @@ fn lint_command(args: &[String]) -> ExitCode {
     let mut deny_all = false;
     let mut fix_allowlist = false;
     let mut json_target: Option<String> = None;
+    let mut format_json = false;
+    let mut check_report: Option<PathBuf> = None;
     let mut max_caps: Vec<(LintId, usize)> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -213,6 +218,20 @@ fn lint_command(args: &[String]) -> ExitCode {
                 Some(target) => json_target = Some(target.clone()),
                 None => {
                     eprintln!("--json needs a path (or `-` for stdout)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                _ => {
+                    eprintln!("--format supports only `json`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check-report" => match it.next() {
+                Some(path) => check_report = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--check-report needs a path\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -230,6 +249,42 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     }
 
+    if let Some(path) = check_report {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let problems = report::validate(&text);
+        if problems.is_empty() {
+            println!(
+                "{}: schema-valid {} report",
+                path.display(),
+                report::REPORT_SCHEMA
+            );
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            eprintln!("error: {}: {p}", path.display());
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // With pure-JSON stdout requested, human output moves to stderr so the
+    // document stays machine-parseable.
+    let human_to_stderr = format_json || json_target.as_deref() == Some("-");
+    macro_rules! human {
+        ($($t:tt)*) => {
+            if human_to_stderr {
+                eprintln!($($t)*);
+            } else {
+                println!($($t)*);
+            }
+        };
+    }
+
     let root = workspace_root();
     let scan = match xtask::scan_tree(&root) {
         Ok(scan) => scan,
@@ -238,23 +293,22 @@ fn lint_command(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-
-    // rng-determinism is a zero-tolerance class: it can be allow()ed at a
-    // documented call site but never budgeted away in the baseline.
-    let rng_hits = scan
-        .violations
-        .iter()
-        .filter(|v| v.lint == LintId::RngDeterminism)
-        .count();
+    let base = match Baseline::load(&root) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     if fix_allowlist {
-        let baselineable: Vec<_> = scan
-            .violations
-            .iter()
-            .filter(|v| v.lint != LintId::RngDeterminism)
-            .cloned()
-            .collect();
-        let new_baseline = Baseline::from_violations(&baselineable);
+        let mut new_baseline = Baseline::from_violations(&scan.violations);
+        match &scan.index.checkpoint {
+            Some(schema) => new_baseline.set_checkpoint_schema(schema.fingerprint, schema.version),
+            None => eprintln!(
+                "warning: no CHECKPOINT_VERSION found; the checkpoint schema pin was not recorded"
+            ),
+        }
         if let Err(e) = new_baseline.store(&root) {
             eprintln!("error: cannot write {BASELINE_PATH}: {e}");
             return ExitCode::from(2);
@@ -264,15 +318,19 @@ fn lint_command(args: &[String]) -> ExitCode {
             new_baseline.total(),
             scan.files_scanned
         );
-        if rng_hits > 0 {
+        // Zero-tolerance classes can be allow()ed at a documented call site
+        // but never budgeted away; surface anything that must still be fixed.
+        let unfixable: Vec<_> = scan
+            .violations
+            .iter()
+            .filter(|v| !v.lint.baselineable())
+            .collect();
+        if !unfixable.is_empty() {
             eprintln!(
-                "error: {rng_hits} rng-determinism violation(s) cannot be baselined — fix them:"
+                "error: {} violation(s) in non-baselineable classes — fix them:",
+                unfixable.len()
             );
-            for v in scan
-                .violations
-                .iter()
-                .filter(|v| v.lint == LintId::RngDeterminism)
-            {
+            for v in &unfixable {
                 eprintln!("  {v}");
             }
             return ExitCode::FAILURE;
@@ -280,16 +338,22 @@ fn lint_command(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let base = match Baseline::load(&root) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let check = baseline::check(&scan.violations, &base);
+    // Workspace-level check: the checkpoint codec fingerprint against the
+    // pin recorded in the baseline.
+    let mut all_violations = scan.violations.clone();
+    all_violations.extend(lints::checkpoint_drift(
+        &scan.index,
+        base.checkpoint_schema(),
+    ));
+    let check = baseline::check(&all_violations, &base);
 
-    let baseline_has_rng = base.has_lint(LintId::RngDeterminism);
+    // Zero-tolerance classes must never be budgeted in a (hand-edited)
+    // baseline file.
+    let forbidden_in_baseline: Vec<LintId> = LintId::ALL
+        .iter()
+        .copied()
+        .filter(|l| !l.baselineable() && base.has_lint(*l))
+        .collect();
     let stale_fatal = deny_all && !check.stale.is_empty();
 
     // Total-budget ratchet: `--max <lint>=<N>` fails the run when the
@@ -297,7 +361,7 @@ fn lint_command(args: &[String]) -> ExitCode {
     // regression cannot hide behind a refreshed per-file baseline.
     let mut cap_breaches = Vec::new();
     for (id, cap) in &max_caps {
-        let observed = scan.violations.iter().filter(|v| v.lint == *id).count();
+        let observed = all_violations.iter().filter(|v| v.lint == *id).count();
         if observed > *cap {
             cap_breaches.push((*id, *cap, observed));
         }
@@ -305,50 +369,59 @@ fn lint_command(args: &[String]) -> ExitCode {
 
     let pass = check.new_violations.is_empty()
         && !stale_fatal
-        && !baseline_has_rng
+        && forbidden_in_baseline.is_empty()
         && cap_breaches.is_empty();
 
-    if let Some(target) = &json_target {
-        let json = report::to_json(scan.files_scanned, pass, &check);
-        if target == "-" {
-            // write! instead of print! so a closed pipe (`... --json - | head`)
-            // is a silent truncation, not a panic.
-            let _ = std::io::stdout().write_all(json.as_bytes());
-        } else if let Err(e) = std::fs::write(target, json) {
+    let json = report::to_json(scan.files_scanned, pass, &check);
+    // Self-check: never emit a report the schema gate would reject.
+    let report_problems = report::validate(&json);
+    if !report_problems.is_empty() {
+        for p in &report_problems {
+            eprintln!("error: composed report fails its own schema: {p}");
+        }
+        return ExitCode::from(2);
+    }
+    if format_json || json_target.as_deref() == Some("-") {
+        // write! instead of print! so a closed pipe (`... --format json | head`)
+        // is a silent truncation, not a panic.
+        let _ = std::io::stdout().write_all(json.as_bytes());
+    }
+    if let Some(target) = json_target.as_deref().filter(|t| *t != "-") {
+        if let Err(e) = std::fs::write(target, &json) {
             eprintln!("error: cannot write JSON report to {target}: {e}");
             return ExitCode::from(2);
         }
     }
 
     for v in &check.budgeted {
-        println!("note(baselined): {v}");
+        human!("note(baselined): {v}");
     }
     for v in &check.new_violations {
-        println!("error: {v}");
+        human!("error: {v}");
     }
     for (id, file, budget, observed) in &check.stale {
         let level = if deny_all { "error" } else { "warning" };
-        println!(
+        human!(
             "{level}: stale baseline: [{id}] {} budgets {budget} but only {observed} observed — \
              run `cargo xtask lint --fix-allowlist` to ratchet down",
             file.display()
         );
     }
-    if baseline_has_rng {
-        println!(
-            "error: {BASELINE_PATH} contains rng-determinism entries; that class must be fixed, \
+    for id in &forbidden_in_baseline {
+        human!(
+            "error: {BASELINE_PATH} contains {id} entries; that class must be fixed, \
              not budgeted"
         );
     }
     for (id, cap, observed) in &cap_breaches {
-        println!(
+        human!(
             "error: [{id}] total budget exceeded: {observed} observed > cap {cap} \
              (--max {}={cap})",
             id.as_str()
         );
     }
 
-    println!(
+    human!(
         "lint: {} file(s), {} new violation(s), {} baselined, {} stale budget(s){}",
         scan.files_scanned,
         check.new_violations.len(),

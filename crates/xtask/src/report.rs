@@ -1,26 +1,47 @@
-//! Machine-readable JSON report of a lint run.
+//! Machine-readable JSON report of a lint run (SARIF-lite).
+//!
+//! The document is schema-versioned so CI consumers can reject drift, and
+//! it is validated through the in-tree JSON parser ([`crate::json`]) both
+//! by the emitter (before writing) and by `cargo xtask lint
+//! --check-report` (after, in CI).
 
 use std::fmt::Write as _;
 
 use crate::baseline::BaselineCheck;
-use crate::lints::{LintId, Violation};
+use crate::lints::LintId;
+
+/// Schema identifier of the report format. Bump the `/N` suffix on any
+/// field change.
+pub const REPORT_SCHEMA: &str = "finrad-lint-report/2";
+
+/// Diagnostic severity: over-budget violations are `error`, baselined ones
+/// are `note`.
+const LEVELS: [&str; 2] = ["error", "note"];
 
 /// Serializes the outcome of a lint run as a JSON document.
 ///
-/// Schema:
+/// Schema (`finrad-lint-report/2`):
 ///
 /// ```json
 /// {
+///   "schema": "finrad-lint-report/2",
 ///   "files_scanned": 42,
 ///   "pass": true,
 ///   "counts": {"unit-safety": 0, "rng-determinism": 0, ...},
-///   "new_violations": [{"lint": "...", "file": "...", "line": 1, "message": "..."}],
-///   "budgeted_violations": [...],
+///   "diagnostics": [
+///     {"lint": "...", "level": "error", "file": "...", "line": 1,
+///      "col": 5, "message": "..."}
+///   ],
 ///   "stale_baseline": [{"lint": "...", "file": "...", "budget": 2, "observed": 1}]
 /// }
 /// ```
+///
+/// `counts` has one member per lint family (all nine, zero included);
+/// `diagnostics` holds over-budget violations (`"level": "error"`) followed
+/// by baselined ones (`"level": "note"`), each ordered by (file, line, col).
 pub fn to_json(files_scanned: usize, pass: bool, check: &BaselineCheck) -> String {
     let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(REPORT_SCHEMA));
     let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
     let _ = writeln!(out, "  \"pass\": {pass},");
 
@@ -39,10 +60,30 @@ pub fn to_json(files_scanned: usize, pass: bool, check: &BaselineCheck) -> Strin
     }
     out.push_str("},\n");
 
-    write_violation_array(&mut out, "new_violations", &check.new_violations);
-    out.push_str(",\n");
-    write_violation_array(&mut out, "budgeted_violations", &check.budgeted);
-    out.push_str(",\n");
+    out.push_str("  \"diagnostics\": [");
+    let mut first = true;
+    for (level, violations) in LEVELS.iter().zip([&check.new_violations, &check.budgeted]) {
+        for v in violations {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"lint\": {}, \"level\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_string(v.lint.as_str()),
+                json_string(level),
+                json_string(&v.file.display().to_string()),
+                v.line,
+                v.col,
+                json_string(&v.message),
+            );
+        }
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
 
     out.push_str("  \"stale_baseline\": [");
     for (i, (id, file, budget, observed)) in check.stale.iter().enumerate() {
@@ -63,25 +104,90 @@ pub fn to_json(files_scanned: usize, pass: bool, check: &BaselineCheck) -> Strin
     out
 }
 
-fn write_violation_array(out: &mut String, key: &str, violations: &[Violation]) {
-    let _ = write!(out, "  \"{key}\": [");
-    for (i, v) in violations.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
+/// Validates `text` against the `finrad-lint-report/2` schema using the
+/// in-tree JSON parser. Returns the list of problems (empty = valid).
+pub fn validate(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let doc = match crate::json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return vec![e.to_string()],
+    };
+    let Some(obj) = doc.as_object() else {
+        return vec!["report root is not an object".to_string()];
+    };
+
+    match obj.get("schema").and_then(|v| v.as_str()) {
+        Some(REPORT_SCHEMA) => {}
+        Some(other) => problems.push(format!(
+            "schema mismatch: expected `{REPORT_SCHEMA}`, found `{other}`"
+        )),
+        None => problems.push("missing string member `schema`".to_string()),
+    }
+    if obj.get("files_scanned").and_then(|v| v.as_u64()).is_none() {
+        problems.push("missing non-negative integer `files_scanned`".to_string());
+    }
+    if !matches!(obj.get("pass"), Some(crate::json::Value::Bool(_))) {
+        problems.push("missing boolean `pass`".to_string());
+    }
+
+    match obj.get("counts").and_then(|v| v.as_object()) {
+        None => problems.push("missing object `counts`".to_string()),
+        Some(counts) => {
+            for lint in LintId::ALL {
+                if counts.get(lint.as_str()).and_then(|v| v.as_u64()).is_none() {
+                    problems.push(format!("counts is missing integer `{lint}`"));
+                }
+            }
+            for key in counts.keys() {
+                if !LintId::ALL.iter().any(|l| l.as_str() == key) {
+                    problems.push(format!("counts has unknown lint `{key}`"));
+                }
+            }
         }
-        let _ = write!(
-            out,
-            "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
-            json_string(v.lint.as_str()),
-            json_string(&v.file.display().to_string()),
-            v.line,
-            json_string(&v.message),
-        );
     }
-    if !violations.is_empty() {
-        out.push_str("\n  ");
+
+    match obj.get("diagnostics").and_then(|v| v.as_array()) {
+        None => problems.push("missing array `diagnostics`".to_string()),
+        Some(diags) => {
+            for (i, d) in diags.iter().enumerate() {
+                let ok = d
+                    .get("lint")
+                    .and_then(|v| v.as_str())
+                    .is_some_and(|id| LintId::ALL.iter().any(|l| l.as_str() == id))
+                    && d.get("level")
+                        .and_then(|v| v.as_str())
+                        .is_some_and(|l| LEVELS.contains(&l))
+                    && d.get("file").and_then(|v| v.as_str()).is_some()
+                    && d.get("line")
+                        .and_then(|v| v.as_u64())
+                        .is_some_and(|n| n >= 1)
+                    && d.get("col")
+                        .and_then(|v| v.as_u64())
+                        .is_some_and(|n| n >= 1)
+                    && d.get("message").and_then(|v| v.as_str()).is_some();
+                if !ok {
+                    problems.push(format!("diagnostics[{i}] is malformed"));
+                }
+            }
+        }
     }
-    out.push(']');
+
+    match obj.get("stale_baseline").and_then(|v| v.as_array()) {
+        None => problems.push("missing array `stale_baseline`".to_string()),
+        Some(stale) => {
+            for (i, s) in stale.iter().enumerate() {
+                let ok = s.get("lint").and_then(|v| v.as_str()).is_some()
+                    && s.get("file").and_then(|v| v.as_str()).is_some()
+                    && s.get("budget").and_then(|v| v.as_u64()).is_some()
+                    && s.get("observed").and_then(|v| v.as_u64()).is_some();
+                if !ok {
+                    problems.push(format!("stale_baseline[{i}] is malformed"));
+                }
+            }
+        }
+    }
+
+    problems
 }
 
 /// Escapes `s` as a JSON string literal.
@@ -108,28 +214,69 @@ fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lints::Violation;
     use std::path::PathBuf;
 
-    #[test]
-    fn report_is_valid_shape() {
-        let check = BaselineCheck {
+    fn sample_check() -> BaselineCheck {
+        BaselineCheck {
             new_violations: vec![Violation {
                 lint: LintId::PanicFreedom,
                 file: PathBuf::from("a.rs"),
                 line: 3,
+                col: 7,
                 message: "say \"no\" to panics".to_string(),
             }],
-            budgeted: vec![],
+            budgeted: vec![Violation {
+                lint: LintId::FloatDiscipline,
+                file: PathBuf::from("c.rs"),
+                line: 9,
+                col: 2,
+                message: "tolerances".to_string(),
+            }],
             stale: vec![("unit-safety".to_string(), PathBuf::from("b.rs"), 2, 1)],
-        };
-        let json = to_json(7, false, &check);
-        assert!(json.contains("\"files_scanned\": 7"));
-        assert!(json.contains("\"pass\": false"));
-        assert!(json.contains("\"panic-freedom\": 1"));
-        assert!(json.contains("\\\"no\\\""));
-        assert!(json.contains("\"budget\": 2"));
-        // Balanced braces/brackets as a cheap well-formedness proxy.
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_own_parser_and_validates() {
+        let json = to_json(7, false, &sample_check());
+        let doc = crate::json::parse(&json).expect("self-emitted report must parse");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(doc.get("files_scanned").and_then(|v| v.as_u64()), Some(7));
+        let diags = doc.get("diagnostics").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(
+            diags[0].get("level").and_then(|v| v.as_str()),
+            Some("error")
+        );
+        assert_eq!(diags[1].get("level").and_then(|v| v.as_str()), Some("note"));
+        assert_eq!(diags[0].get("col").and_then(|v| v.as_u64()), Some(7));
+        assert!(validate(&json).is_empty(), "{:?}", validate(&json));
+    }
+
+    #[test]
+    fn counts_cover_all_families() {
+        let json = to_json(1, true, &BaselineCheck::default());
+        let doc = crate::json::parse(&json).unwrap();
+        let counts = doc.get("counts").and_then(|v| v.as_object()).unwrap();
+        assert_eq!(counts.len(), LintId::ALL.len());
+    }
+
+    #[test]
+    fn validate_rejects_drifted_documents() {
+        assert!(!validate("{}").is_empty());
+        assert!(!validate("not json").is_empty());
+        let wrong_schema = to_json(1, true, &BaselineCheck::default())
+            .replace(REPORT_SCHEMA, "finrad-lint-report/1");
+        assert!(validate(&wrong_schema)
+            .iter()
+            .any(|p| p.contains("schema mismatch")));
+        let bad_diag = to_json(1, false, &sample_check()).replace("\"col\": 7", "\"col\": 0");
+        assert!(validate(&bad_diag)
+            .iter()
+            .any(|p| p.contains("diagnostics[0]")));
     }
 }

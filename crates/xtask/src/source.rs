@@ -6,10 +6,29 @@
 //! view of a file: the body of every comment and literal is replaced by
 //! spaces (delimiters kept, line structure preserved), so downstream lints
 //! can do plain substring matching on `Line::code` without false positives.
+//! Scrubbing is **column-preserving**: every consumed character (other than
+//! a line break) is replaced by exactly one blank, so a byte offset into a
+//! scrubbed line is also a 1:1 column into the original line — that is what
+//! makes line:col diagnostics click-through accurate.
 //!
 //! The scrubber also extracts `// finrad-lint: allow(<id>, ...)` directives
-//! from line comments; a directive suppresses matching violations on its own
-//! line and on the line directly below it.
+//! from line comments. A *standalone* directive (the comment is the whole
+//! line) suppresses matching violations on its own line and on the line
+//! directly below it; a *trailing* directive (code precedes the comment on
+//! the same line) suppresses only its own line — a trailing comment is an
+//! annotation of that line, not of whatever happens to come next.
+
+/// One `allow(...)` directive extracted from a line comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The lint ID being allowed (`"all"` allows everything).
+    pub id: String,
+    /// True when the comment is the whole line (only whitespace before
+    /// `//`); only standalone directives extend to the following line.
+    pub standalone: bool,
+    /// 1-indexed character column where the directive text begins.
+    pub col: usize,
+}
 
 /// One scrubbed source line.
 #[derive(Debug, Clone)]
@@ -18,8 +37,8 @@ pub struct Line {
     pub code: String,
     /// Whether the line sits inside a `#[cfg(test)]` module.
     pub in_test: bool,
-    /// Lint IDs allow-listed on this line (`"all"` allows everything).
-    pub allows: Vec<String>,
+    /// Allow directives declared on this line.
+    pub allows: Vec<Allow>,
 }
 
 /// A whole file after scrubbing; lines are 0-indexed internally (lints
@@ -32,15 +51,23 @@ pub struct ScrubbedSource {
 
 impl ScrubbedSource {
     /// True when a violation of `lint` at 1-indexed `line` is suppressed by
-    /// an allow directive on that line or the one above it.
+    /// an allow directive on that line, or by a *standalone* directive on
+    /// the line above it.
     pub fn is_allowed(&self, lint: &str, line: usize) -> bool {
         let idx = line.saturating_sub(1);
-        let hit = |i: usize| {
+        let own = |i: usize| {
             self.lines
                 .get(i)
-                .is_some_and(|l| l.allows.iter().any(|a| a == lint || a == "all"))
+                .is_some_and(|l| l.allows.iter().any(|a| a.id == lint || a.id == "all"))
         };
-        hit(idx) || (idx > 0 && hit(idx - 1))
+        let above = |i: usize| {
+            self.lines.get(i).is_some_and(|l| {
+                l.allows
+                    .iter()
+                    .any(|a| a.standalone && (a.id == lint || a.id == "all"))
+            })
+        };
+        own(idx) || (idx > 0 && above(idx - 1))
     }
 }
 
@@ -48,9 +75,9 @@ impl ScrubbedSource {
 /// `#[cfg(test)]` regions.
 pub fn scrub(src: &str) -> ScrubbedSource {
     let chars: Vec<char> = src.chars().collect();
-    let mut lines: Vec<(String, Vec<String>)> = Vec::new();
+    let mut lines: Vec<(String, Vec<Allow>)> = Vec::new();
     let mut code = String::new();
-    let mut allows: Vec<String> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
     let mut i = 0;
 
     macro_rules! end_line {
@@ -66,15 +93,20 @@ pub fn scrub(src: &str) -> ScrubbedSource {
             i += 1;
         } else if c == '/' && chars.get(i + 1) == Some(&'/') {
             // Line comment (incl. doc comments): capture for allow(), blank.
+            let standalone = code.chars().all(char::is_whitespace);
+            let comment_col = code.chars().count() + 1;
             let start = i;
             while i < chars.len() && chars[i] != '\n' {
+                code.push(' ');
                 i += 1;
             }
             let comment: String = chars[start..i].iter().collect();
-            parse_allow_directive(&comment, &mut allows);
+            parse_allow_directive(&comment, standalone, comment_col, &mut allows);
         } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-            // Block comment with nesting; preserve line structure.
+            // Block comment with nesting; preserve line and column
+            // structure by blanking every consumed character.
             let mut depth = 1u32;
+            code.push_str("  ");
             i += 2;
             while i < chars.len() && depth > 0 {
                 if chars[i] == '\n' {
@@ -82,16 +114,19 @@ pub fn scrub(src: &str) -> ScrubbedSource {
                     i += 1;
                 } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
                     depth += 1;
+                    code.push_str("  ");
                     i += 2;
                 } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
                     depth -= 1;
+                    code.push_str("  ");
                     i += 2;
                 } else {
+                    code.push(' ');
                     i += 1;
                 }
             }
         } else if c == '"' {
-            i = scrub_string(&chars, i, &mut code, &mut lines, &mut allows, 0);
+            i = scrub_string(&chars, i, &mut code, &mut lines, &mut allows);
         } else if is_raw_string_start(&chars, i) {
             let mut j = i;
             if chars[j] == 'b' {
@@ -109,7 +144,7 @@ pub fn scrub(src: &str) -> ScrubbedSource {
             i = scrub_raw_string(&chars, j, &mut code, &mut lines, &mut allows, hashes);
         } else if c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_is_ident(&chars, i) {
             code.push('b');
-            i = scrub_string(&chars, i + 1, &mut code, &mut lines, &mut allows, 0);
+            i = scrub_string(&chars, i + 1, &mut code, &mut lines, &mut allows);
         } else if c == '\'' {
             i = scrub_char_or_lifetime(&chars, i, &mut code);
         } else {
@@ -154,15 +189,25 @@ fn scrub_string(
     chars: &[char],
     mut i: usize,
     code: &mut String,
-    lines: &mut Vec<(String, Vec<String>)>,
-    allows: &mut Vec<String>,
-    _hashes: usize,
+    lines: &mut Vec<(String, Vec<Allow>)>,
+    allows: &mut Vec<Allow>,
 ) -> usize {
     code.push('"');
     i += 1;
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2, // skip the escaped char
+            '\\' => {
+                // Blank both the backslash and the escaped character so
+                // columns after the literal stay aligned. A `\<newline>`
+                // continuation leaves the newline for the main match so
+                // line numbering stays honest.
+                code.push(' ');
+                i += 1;
+                if chars.get(i).is_some_and(|&c| c != '\n') {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
             '\n' => {
                 lines.push((std::mem::take(code), std::mem::take(allows)));
                 i += 1;
@@ -186,8 +231,8 @@ fn scrub_raw_string(
     chars: &[char],
     mut i: usize,
     code: &mut String,
-    lines: &mut Vec<(String, Vec<String>)>,
-    allows: &mut Vec<String>,
+    lines: &mut Vec<(String, Vec<Allow>)>,
+    allows: &mut Vec<Allow>,
     hashes: usize,
 ) -> usize {
     code.push('"');
@@ -233,7 +278,13 @@ fn scrub_char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize 
     let mut j = i + 1;
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                code.push(' ');
+                if j + 1 < chars.len() {
+                    code.push(' ');
+                }
+                j += 2;
+            }
             '\'' => {
                 code.push('\'');
                 return j + 1;
@@ -247,10 +298,17 @@ fn scrub_char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize 
     j
 }
 
-fn parse_allow_directive(comment: &str, allows: &mut Vec<String>) {
-    let Some(rest) = comment.split("finrad-lint:").nth(1) else {
+fn parse_allow_directive(
+    comment: &str,
+    standalone: bool,
+    comment_col: usize,
+    out: &mut Vec<Allow>,
+) {
+    let Some(marker) = comment.find("finrad-lint:") else {
         return;
     };
+    let col = comment_col + comment[..marker].chars().count();
+    let rest = &comment[marker..];
     let Some(inner) = rest.split("allow(").nth(1) else {
         return;
     };
@@ -260,13 +318,17 @@ fn parse_allow_directive(comment: &str, allows: &mut Vec<String>) {
     for id in ids.split(',') {
         let id = id.trim();
         if !id.is_empty() {
-            allows.push(id.to_string());
+            out.push(Allow {
+                id: id.to_string(),
+                standalone,
+                col,
+            });
         }
     }
 }
 
 /// Tags lines that belong to `#[cfg(test)]` modules by tracking brace depth.
-fn tag_test_regions(raw: Vec<(String, Vec<String>)>) -> Vec<Line> {
+fn tag_test_regions(raw: Vec<(String, Vec<Allow>)>) -> Vec<Line> {
     let mut out = Vec::with_capacity(raw.len());
     let mut depth: i64 = 0;
     let mut pending_attr = false;
@@ -327,9 +389,20 @@ mod tests {
     }
 
     #[test]
+    fn scrubbing_preserves_columns() {
+        // The `b` after the block comment must stay at its original column;
+        // ditto code following a string literal with escapes.
+        let s = scrub("a /* xx */ b\nlet s = \"a\\nb\"; f32\n");
+        assert_eq!(s.lines[0].code, "a          b");
+        // `f32` sits at byte 16 of the original line; escapes inside the
+        // literal were blanked 1:1 so it must still be there.
+        assert_eq!(s.lines[1].code.find("f32"), Some(16));
+    }
+
+    #[test]
     fn block_comments_nest_and_span_lines() {
         let s = scrub("a /* one /* two */ still */ b\nc /* open\nunwrap()\n*/ d\n");
-        assert_eq!(s.lines[0].code.trim_end(), "a  b");
+        assert_eq!(s.lines[0].code.trim_end(), "a                           b");
         assert!(!s.lines[2].code.contains("unwrap"));
         assert!(s.lines[3].code.contains('d'));
     }
@@ -354,6 +427,29 @@ mod tests {
         assert!(s.is_allowed("panic-freedom", 2));
         assert!(!s.is_allowed("panic-freedom", 3));
         assert!(!s.is_allowed("float-discipline", 2));
+    }
+
+    #[test]
+    fn trailing_directives_cover_only_their_own_line() {
+        // Regression: a directive in a trailing comment used to suppress
+        // the next line too, silently widening every inline allow().
+        let s = scrub("x.unwrap(); // finrad-lint: allow(panic-freedom)\ny.unwrap();\n");
+        assert!(s.is_allowed("panic-freedom", 1));
+        assert!(!s.is_allowed("panic-freedom", 2));
+        assert!(!s.lines[0].allows[0].standalone);
+        // A standalone directive still reaches the next line.
+        let s = scrub("    // finrad-lint: allow(panic-freedom)\ny.unwrap();\n");
+        assert!(s.lines[0].allows[0].standalone);
+        assert!(s.is_allowed("panic-freedom", 2));
+    }
+
+    #[test]
+    fn directive_columns_are_recorded() {
+        let s = scrub("x(); // finrad-lint: allow(panic-freedom, float-discipline)\n");
+        assert_eq!(s.lines[0].allows.len(), 2);
+        // "x(); // " is 8 chars; the directive text starts right after.
+        assert_eq!(s.lines[0].allows[0].col, 9);
+        assert_eq!(s.lines[0].allows[1].col, 9);
     }
 
     #[test]

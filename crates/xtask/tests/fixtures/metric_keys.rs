@@ -1,0 +1,14 @@
+//! Fixture: metrics-key-registry — declared keys and prefix-composed keys
+//! pass; a typo'd key fails with a span on the string literal.
+
+pub fn good() {
+    finrad_observe::counter_add("core.strike.iterations", 1);
+}
+
+pub fn prefixed() {
+    finrad_observe::record("spice.recovery.rung.gmin-stepping.ok", 1.0);
+}
+
+pub fn typo() {
+    finrad_observe::counter_add("core.strike.iterationz", 1);
+}

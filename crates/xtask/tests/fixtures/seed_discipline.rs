@@ -1,0 +1,16 @@
+//! Fixture: seed-discipline — bare seeds and the sanctioned helpers pass;
+//! inline derivation arithmetic fails.
+
+use finrad_numerics::rng::Xoshiro256pp;
+
+pub fn ok_bare(seed: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(seed)
+}
+
+pub fn ok_helper(seed: u64, chunk: u64) -> Xoshiro256pp {
+    Xoshiro256pp::salted_stream(seed, chunk + 1, 0xD6E8_FEB8_6659_FD93)
+}
+
+pub fn bad_adhoc(seed: u64, worker: u64) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64(seed ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

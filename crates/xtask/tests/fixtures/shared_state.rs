@@ -1,0 +1,14 @@
+//! Fixture: shared-state-audit — unsynchronized globals, relaxed
+//! orderings, and thread-local state are flagged with spans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static mut GLOBAL_TALLY: u64 = 0;
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+thread_local! {
+    pub static SCRATCH: u64 = 0;
+}

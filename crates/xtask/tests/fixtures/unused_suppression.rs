@@ -1,0 +1,12 @@
+//! Fixture: unused-suppression — the first allow suppresses a real
+//! violation; the second can never fire and must be flagged.
+
+pub fn sentinel(x: f64) -> bool {
+    // finrad-lint: allow(float-discipline)
+    x == 0.0
+}
+
+// finrad-lint: allow(panic-freedom)
+pub fn answer() -> u64 {
+    42
+}

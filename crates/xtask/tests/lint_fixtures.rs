@@ -1,18 +1,36 @@
 //! End-to-end tests of the lint engine over the seeded fixtures: each lint
-//! family fires with the right ID on the right line, allow() suppresses,
-//! and clean code stays clean.
+//! family fires with the right ID at the right (line, col) span, allow()
+//! suppresses (and unused allows are flagged), and clean code stays clean.
 
 use std::path::Path;
 
-use xtask::lints::{LintId, Violation};
+use xtask::index::{self, WorkspaceIndex};
+use xtask::lints::{self, LintId, Violation};
 
-fn lint_fixture(name: &str) -> Vec<Violation> {
+fn read_fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read fixture {name}: {e}"));
-    xtask::lint_file_source(Path::new(name), &text, true)
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read fixture {name}: {e}"))
+}
+
+fn lint_fixture(name: &str) -> Vec<Violation> {
+    xtask::lint_file_source(Path::new(name), &read_fixture(name), true)
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+/// Lints a fixture against the *real* workspace index, so the declared
+/// metric-key set comes from `crates/observe/src/keys.rs`.
+fn lint_fixture_indexed(name: &str) -> (Vec<Violation>, WorkspaceIndex) {
+    let index = index::build(workspace_root()).expect("index build");
+    let v = xtask::lint_file_source_with_index(Path::new(name), &read_fixture(name), true, &index);
+    (v, index)
 }
 
 #[test]
@@ -80,21 +98,153 @@ fn clean_fixture_stays_clean() {
 }
 
 #[test]
+fn metrics_key_registry_fixture() {
+    let (v, index) = lint_fixture_indexed("metric_keys.rs");
+    // The index must resolve the declared key set from the real registry.
+    assert!(index.metric_keys.contains("core.strike.iterations"));
+    assert!(index
+        .metric_key_prefixes
+        .iter()
+        .any(|p| p == "spice.recovery.rung."));
+    // Declared key (line 5) and prefix-composed key (line 9) pass; only the
+    // typo'd key fires, with the span on the string literal.
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::MetricsKeyRegistry);
+    assert_eq!((v[0].line, v[0].col), (13, 33));
+    assert!(v[0].message.contains("core.strike.iterationz"));
+    assert!(
+        v[0].message
+            .contains("did you mean `core.strike.iterations`"),
+        "{}",
+        v[0].message
+    );
+}
+
+#[test]
+fn seed_discipline_fixture() {
+    let (v, _) = lint_fixture_indexed("seed_discipline.rs");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::SeedDiscipline);
+    // The ad-hoc derivation on line 15; span on the `seed_from_u64` call.
+    assert_eq!((v[0].line, v[0].col), (15, 19));
+}
+
+#[test]
+fn shared_state_fixture() {
+    let (v, _) = lint_fixture_indexed("shared_state.rs");
+    assert_eq!(v.len(), 3, "{v:#?}");
+    assert!(v.iter().all(|v| v.lint == LintId::SharedStateAudit));
+    assert_eq!((v[0].line, v[0].col), (6, 5));
+    assert!(v[0].message.contains("static mut"));
+    assert_eq!((v[1].line, v[1].col), (9, 36));
+    assert!(v[1].message.contains("Relaxed"));
+    assert_eq!((v[2].line, v[2].col), (12, 1));
+    assert!(v[2].message.contains("thread_local"));
+}
+
+#[test]
+fn unused_suppression_fixture() {
+    let (v, _) = lint_fixture_indexed("unused_suppression.rs");
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::UnusedSuppression);
+    // The stale standalone directive on line 9, span on the directive text.
+    assert_eq!((v[0].line, v[0].col), (9, 4));
+    assert!(v[0].message.contains("panic-freedom"));
+}
+
+#[test]
+fn checkpoint_drift_fires_on_unbumped_serializer_edit() {
+    let keys = read_fixture("../../../observe/src/keys.rs");
+    let v1 = "pub const CHECKPOINT_VERSION: u32 = 1;\n\
+              pub fn to_text(x: u64) -> u64 { x.wrapping_mul(3) }\n";
+    let v1_edited = "pub const CHECKPOINT_VERSION: u32 = 1;\n\
+              pub fn to_text(x: u64) -> u64 { x.wrapping_mul(5) }\n";
+    let v2_edited = "pub const CHECKPOINT_VERSION: u32 = 2;\n\
+              pub fn to_text(x: u64) -> u64 { x.wrapping_mul(5) }\n";
+
+    let schema_of = |src: &str| {
+        index::from_sources(&keys, "", Some(src))
+            .checkpoint
+            .clone()
+            .expect("fixture declares CHECKPOINT_VERSION")
+    };
+    let recorded = schema_of(v1);
+    let pin = Some((recorded.fingerprint, recorded.version));
+
+    // Unchanged codec: quiet.
+    assert!(lints::checkpoint_drift(&index::from_sources(&keys, "", Some(v1)), pin).is_empty());
+
+    // Serializer edited, version NOT bumped: the drift lint fails with a
+    // span on the version constant.
+    let drifted = lints::checkpoint_drift(&index::from_sources(&keys, "", Some(v1_edited)), pin);
+    assert_eq!(drifted.len(), 1, "{drifted:#?}");
+    assert_eq!(drifted[0].lint, LintId::CheckpointSchemaDrift);
+    assert!(drifted[0]
+        .message
+        .contains("without a CHECKPOINT_VERSION bump"));
+    assert_eq!((drifted[0].line, drifted[0].col), (1, 37));
+
+    // Serializer edited WITH a version bump: the lint asks for a pin
+    // refresh (`--fix-allowlist`) instead of rejecting the edit.
+    let bumped = lints::checkpoint_drift(&index::from_sources(&keys, "", Some(v2_edited)), pin);
+    assert_eq!(bumped.len(), 1, "{bumped:#?}");
+    assert!(bumped[0].message.contains("refresh the recorded schema"));
+    // And refreshing the pin silences it.
+    let refreshed = schema_of(v2_edited);
+    assert!(lints::checkpoint_drift(
+        &index::from_sources(&keys, "", Some(v2_edited)),
+        Some((refreshed.fingerprint, refreshed.version)),
+    )
+    .is_empty());
+}
+
+#[test]
 fn scan_tree_skips_xtask_and_reports_relative_paths() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root");
-    let scan = xtask::scan_tree(root).expect("scan");
+    let scan = xtask::scan_tree(workspace_root()).expect("scan");
     assert!(scan.files_scanned > 20, "only {} files", scan.files_scanned);
     assert!(scan
         .violations
         .iter()
         .all(|v| !v.file.starts_with("crates/xtask")));
     assert!(scan.violations.iter().all(|v| v.file.is_relative()));
-    // The repo-wide policy: the rng-determinism class is fully fixed.
-    assert!(scan
-        .violations
-        .iter()
-        .all(|v| v.lint != LintId::RngDeterminism));
+    // The index phase resolved real symbols.
+    assert!(!scan.index.metric_keys.is_empty());
+    assert!(!scan.index.seed_sanctioned.is_empty());
+    assert!(scan.index.checkpoint.is_some());
+    // The repo-wide policy: these classes are fully fixed and must stay so.
+    for extinct in [
+        LintId::RngDeterminism,
+        LintId::MetricsKeyRegistry,
+        LintId::SeedDiscipline,
+        LintId::SharedStateAudit,
+        LintId::UnusedSuppression,
+    ] {
+        let hits: Vec<_> = scan
+            .violations
+            .iter()
+            .filter(|v| v.lint == extinct)
+            .collect();
+        assert!(hits.is_empty(), "[{extinct}] resurfaced: {hits:#?}");
+    }
+}
+
+#[test]
+fn real_scan_report_round_trips_and_validates() {
+    let root = workspace_root();
+    let scan = xtask::scan_tree(root).expect("scan");
+    let base = xtask::baseline::Baseline::load(root).expect("baseline");
+    let mut all = scan.violations.clone();
+    all.extend(lints::checkpoint_drift(
+        &scan.index,
+        base.checkpoint_schema(),
+    ));
+    let check = xtask::baseline::check(&all, &base);
+    let json = xtask::report::to_json(scan.files_scanned, true, &check);
+    let problems = xtask::report::validate(&json);
+    assert!(problems.is_empty(), "{problems:#?}");
+    let doc = xtask::json::parse(&json).expect("report parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(xtask::report::REPORT_SCHEMA)
+    );
 }
