@@ -10,6 +10,9 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline"
 cargo test --workspace -q --offline
 
+echo "==> cargo test -p finrad-units --doc (dimensional compile_fail suite)"
+cargo test -q --offline -p finrad-units --doc
+
 echo "==> cargo test --features fault-injection (robustness suite)"
 cargo test -q --offline --features fault-injection --test fault_injection
 
@@ -18,6 +21,8 @@ cargo fmt --all -- --check
 
 echo "==> cargo xtask lint (deny-all, all families capped at 0, JSON report)"
 cargo xtask lint --deny-all \
+  --max unit-safety=0 \
+  --max raw-escape-audit=0 \
   --max panic-freedom=0 \
   --max metrics-key-registry=0 \
   --max seed-discipline=0 \

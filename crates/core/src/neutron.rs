@@ -128,10 +128,10 @@ impl<'a> NeutronSimulator<'a> {
                 break;
             }
             let fin = &self.array.fins()[crossing.index];
-            let deposit = (ion.let_linear * crossing.chord()).min(remaining);
+            let deposit = (ion.let_linear * crossing.chord()).qmin(remaining);
             remaining -= deposit;
             if let Some(target) = fin.target {
-                let pairs = deposit / constants::EHP_PAIR_ENERGY;
+                let pairs = (deposit / constants::EHP_PAIR_ENERGY).value();
                 if pairs >= 1.0 {
                     per_cell
                         .entry(fin.cell)

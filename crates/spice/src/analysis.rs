@@ -68,7 +68,7 @@ impl OpPoint {
     ///
     /// Deliberately bare `f64`: the MNA engine works in the raw node-vector
     /// space (volts, SI) like any SPICE core; the typed boundary is the
-    /// SRAM layer above. finrad-lint: allow(unit-safety)
+    /// SRAM layer above.
     pub fn voltage(&self, node: NodeId) -> f64 {
         self.node_voltages[node.index()]
     }

@@ -23,7 +23,7 @@ use crate::straggling::sample_standard_normal;
 /// assert!((n - 1000.0).abs() < 1e-9);
 /// ```
 pub fn mean_pairs(deposited: Energy) -> f64 {
-    (deposited / constants::EHP_PAIR_ENERGY).max(0.0)
+    (deposited / constants::EHP_PAIR_ENERGY).value().max(0.0)
 }
 
 /// Samples an integer pair count with Fano-suppressed Gaussian statistics

@@ -33,7 +33,7 @@ pub struct SecondaryIon {
 impl SecondaryIon {
     /// Track length until the ion has spent its energy.
     pub fn range(&self) -> Length {
-        Length::from_meters(self.energy.joules() / self.let_linear.si_value())
+        self.energy / self.let_linear
     }
 }
 

@@ -139,7 +139,7 @@ impl StoppingModel {
     /// extension study) the loss is capped at the available energy.
     pub fn mean_energy_loss(&self, particle: Particle, energy: Energy, chord: Length) -> Energy {
         let de = self.stopping(particle, energy) * chord;
-        de.min(energy)
+        de.qmin(energy)
     }
 
     /// CSDA range: distance to slow from `energy` to rest, by integrating
@@ -303,7 +303,7 @@ mod tests {
             Energy::from_mev(1.0),
             Length::from_nm(20.0),
         );
-        let pairs = de / constants::EHP_PAIR_ENERGY;
+        let pairs = (de / constants::EHP_PAIR_ENERGY).value();
         assert!((100.0..10_000.0).contains(&pairs), "pairs {pairs}");
     }
 

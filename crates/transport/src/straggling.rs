@@ -98,7 +98,7 @@ pub fn sample_energy_loss<R: Rng + ?Sized>(
             }
         }
     };
-    sampled.max(Energy::ZERO).min(energy)
+    sampled.qmax(Energy::ZERO).qmin(energy)
 }
 
 /// The Landau ξ parameter in MeV: `ξ = (K/2)(Z/A)(z²/β²)·ρΔx`.
@@ -216,7 +216,7 @@ pub fn deposit_exceedance(params: &LandauParams, threshold: Energy, available: E
     if params.scale.ev() <= 0.0 {
         return if params.mean >= threshold { 1.0 } else { 0.0 };
     }
-    let lambda = (threshold - params.mean) / params.scale + MOYAL_MEAN;
+    let lambda = ((threshold - params.mean) / params.scale).value() + MOYAL_MEAN;
     moyal_survival(lambda)
 }
 
@@ -387,7 +387,7 @@ mod tests {
             Energy::from_mev(1.0),
             Length::from_nm(40.0),
         );
-        assert!((s4 / s1 - 2.0).abs() < 1e-9);
+        assert!(((s4 / s1).value() - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -138,9 +138,9 @@ mod tests {
         // τ ∝ L² and ∝ 1/Vdd.
         let t1 = transit_time(Length::from_nm(20.0), Voltage::from_volts(1.0));
         let t2 = transit_time(Length::from_nm(40.0), Voltage::from_volts(1.0));
-        assert!((t2 / t1 - 4.0).abs() < 1e-9);
+        assert!(((t2 / t1).value() - 4.0).abs() < 1e-9);
         let t3 = transit_time(Length::from_nm(20.0), Voltage::from_volts(0.5));
-        assert!((t3 / t1 - 2.0).abs() < 1e-9);
+        assert!(((t3 / t1).value() - 2.0).abs() < 1e-9);
     }
 
     #[test]

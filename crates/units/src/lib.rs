@@ -1,12 +1,22 @@
-//! Physical quantity newtypes for the `finrad` workspace.
+//! Compile-time dimensional analysis for the `finrad` workspace.
 //!
-//! Every physical value that crosses a crate boundary in `finrad` is wrapped
-//! in a dimension-specific newtype ([`Energy`], [`Length`], [`Time`],
-//! [`Charge`], [`Current`], [`Voltage`], [`Area`], [`Volume`],
-//! [`StoppingPower`], [`Flux`]) so the compiler rejects, e.g., passing a
-//! pulse width where a pulse charge is expected. Internally all quantities
-//! are stored in SI base units; constructors and accessors expose the units
-//! that are natural in the radiation/soft-error domain (MeV, nm, fs, fC, …).
+//! Every physical value that crosses a crate boundary in `finrad` is a
+//! [`Quantity<M, L, T, I>`] — an `f64` in SI base units tagged with the
+//! exponents of the four SI base dimensions the workspace needs (mass,
+//! length, time, electric current) as type-level integers ([`tyint`]).
+//! The familiar names ([`Energy`], [`Length`], [`Time`], [`Charge`],
+//! [`Current`], [`Voltage`], [`Area`], [`Volume`], [`StoppingPower`],
+//! [`Flux`]) are aliases of `Quantity` at fixed exponents, each carrying
+//! the constructors and accessors natural in the radiation/soft-error
+//! domain (MeV, nm, fs, fC, …).
+//!
+//! `Mul` and `Div` between *any* two quantities add and subtract the
+//! dimension exponents in the type system, so every dimensionally valid
+//! product or quotient simply works — `Energy / Charge → Voltage`,
+//! `Charge / Time → Current`, `Energy / Length → StoppingPower`,
+//! `Flux · Area · Time → Dimensionless` — and every invalid one is a
+//! compile error (see *Dimensional safety* below). There is no
+//! hand-enumerated cross-dimension `impl` matrix to fall out of date.
 //!
 //! # Examples
 //!
@@ -14,7 +24,7 @@
 //! use finrad_units::{Energy, Length, Charge, constants};
 //!
 //! let deposited = Energy::from_kev(3.6);
-//! let pairs = deposited / constants::EHP_PAIR_ENERGY;
+//! let pairs = (deposited / constants::EHP_PAIR_ENERGY).value();
 //! assert!((pairs - 1000.0).abs() < 1e-9);
 //!
 //! let fin_width = Length::from_nm(8.0);
@@ -23,287 +33,187 @@
 //! let q = Charge::from_electrons(1000.0);
 //! assert!((q.femtocoulombs() - 0.1602176634).abs() < 1e-9);
 //! ```
+//!
+//! # Dimensional safety
+//!
+//! Dimensionally invalid expressions are rejected by the compiler. Each of
+//! the following is a `compile_fail` doctest — the CI gate runs them and
+//! fails if any of them *starts* compiling.
+//!
+//! Adding quantities of different dimensions (an MeV-vs-fC slip):
+//!
+//! ```compile_fail,E0308
+//! use finrad_units::{Charge, Energy};
+//! let _ = Energy::from_kev(10.0) + Charge::from_fc(1.0);
+//! ```
+//!
+//! Subtracting a time from an energy:
+//!
+//! ```compile_fail,E0308
+//! use finrad_units::{Energy, Time};
+//! let _ = Energy::from_mev(1.0) - Time::from_ps(1.0);
+//! ```
+//!
+//! Passing a `Length` where a `Time` is expected:
+//!
+//! ```compile_fail,E0308
+//! use finrad_units::{Length, Time};
+//! fn pulse_width(tau: Time) -> f64 { tau.picoseconds() }
+//! let _ = pulse_width(Length::from_nm(10.0));
+//! ```
+//!
+//! `Voltage · Voltage` is not an `Energy`:
+//!
+//! ```compile_fail,E0308
+//! use finrad_units::{Energy, Voltage};
+//! let _: Energy = Voltage::from_volts(0.8) * Voltage::from_volts(0.8);
+//! ```
+//!
+//! `Charge / Length` is not a `Current` (only `Charge / Time` is):
+//!
+//! ```compile_fail,E0308
+//! use finrad_units::{Charge, Current, Length};
+//! let _: Current = Charge::from_fc(1.0) / Length::from_nm(5.0);
+//! ```
+//!
+//! Ordering comparisons only exist between like dimensions:
+//!
+//! ```compile_fail,E0308
+//! use finrad_units::{Charge, Energy};
+//! let _ = Energy::from_ev(1.0) < Charge::from_fc(1.0);
+//! ```
+//!
+//! Compound assignment cannot mix dimensions either:
+//!
+//! ```compile_fail
+//! use finrad_units::{Charge, Energy};
+//! let mut e = Energy::from_mev(1.0);
+//! e += Charge::from_fc(1.0);
+//! ```
+//!
+//! `Flux · Area` alone is not dimensionless — the exposure time is missing:
+//!
+//! ```compile_fail,E0308
+//! use finrad_units::{Area, Dimensionless, Flux};
+//! let _: Dimensionless = Flux::from_per_m2_second(1.0) * Area::from_square_meters(1.0);
+//! ```
+//!
+//! Reading a quantity out in another dimension's unit is a missing method:
+//!
+//! ```compile_fail,E0599
+//! use finrad_units::Energy;
+//! let _ = Energy::from_mev(1.0).volts();
+//! ```
+//!
+//! Exponents are bounded to `[-8, +8]`; a runaway product leaves the range
+//! and stops compiling instead of silently wrapping:
+//!
+//! ```compile_fail,E0277
+//! use finrad_units::{Length, Volume};
+//! let v: Volume = Length::from_nm(1.0) * Length::from_nm(1.0) * Length::from_nm(1.0);
+//! let _ = v * v * v; // m^9 is out of the supported exponent range
+//! ```
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-/// Generates a `f64`-backed physical quantity newtype with the standard
-/// arithmetic: addition/subtraction of like quantities, scaling by `f64`,
-/// negation, dimensionless ratio of like quantities, and summation.
-macro_rules! quantity {
-    ($(#[$meta:meta])* $name:ident, $unit_label:expr) => {
-        $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-        pub struct $name(f64);
+pub mod quantity;
+pub mod tyint;
 
-        impl $name {
-            /// The zero value of this quantity.
-            pub const ZERO: Self = Self(0.0);
+pub use quantity::{Dimensionless, Quantity};
 
-            /// Raw value in the SI base unit of this quantity.
-            ///
-            /// Prefer the named accessors (`meters()`, `mev()`, …) in
-            /// domain code; this exists for generic numeric plumbing.
-            #[inline]
-            pub const fn si_value(self) -> f64 {
-                self.0
-            }
+use tyint::{N1, N2, N3, P1, P2, P3, Z0};
 
-            /// Builds the quantity from a raw SI base-unit value.
-            #[inline]
-            pub const fn from_si(value: f64) -> Self {
-                Self(value)
-            }
+/// Particle or deposited energy (`M·L²·T⁻²`). SI base unit: joule.
+///
+/// ```
+/// use finrad_units::Energy;
+/// let e = Energy::from_mev(1.0);
+/// assert!((e.kev() - 1000.0).abs() < 1e-9);
+/// ```
+pub type Energy = Quantity<P1, P2, N2, Z0>;
 
-            /// Returns `true` if the underlying value is finite.
-            #[inline]
-            pub fn is_finite(self) -> bool {
-                self.0.is_finite()
-            }
+/// Spatial extent (`L`). SI base unit: metre.
+///
+/// ```
+/// use finrad_units::Length;
+/// assert!((Length::from_nm(1000.0).micrometers() - 1.0).abs() < 1e-12);
+/// ```
+pub type Length = Quantity<Z0, P1, Z0, Z0>;
 
-            /// Absolute value.
-            #[inline]
-            pub fn abs(self) -> Self {
-                Self(self.0.abs())
-            }
+/// Elapsed time or pulse width (`T`). SI base unit: second.
+///
+/// ```
+/// use finrad_units::Time;
+/// assert!((Time::from_fs(1.0e6).nanoseconds() - 1.0).abs() < 1e-12);
+/// ```
+pub type Time = Quantity<Z0, Z0, P1, Z0>;
 
-            /// The smaller of `self` and `other`.
-            #[inline]
-            pub fn min(self, other: Self) -> Self {
-                Self(self.0.min(other.0))
-            }
+/// Electric charge (`T·I`). SI base unit: coulomb.
+///
+/// ```
+/// use finrad_units::Charge;
+/// let q = Charge::from_fc(1.0);
+/// assert!(q.electrons() > 6000.0);
+/// ```
+pub type Charge = Quantity<Z0, Z0, P1, P1>;
 
-            /// The larger of `self` and `other`.
-            #[inline]
-            pub fn max(self, other: Self) -> Self {
-                Self(self.0.max(other.0))
-            }
+/// Electric current (`I`). SI base unit: ampere.
+///
+/// ```
+/// use finrad_units::Current;
+/// assert!((Current::from_ua(1.0).amperes() - 1.0e-6).abs() < 1e-18);
+/// ```
+pub type Current = Quantity<Z0, Z0, Z0, P1>;
 
-            /// Clamps `self` into `[lo, hi]`.
-            ///
-            /// # Panics
-            ///
-            /// Panics if `lo > hi`.
-            #[inline]
-            pub fn clamp(self, lo: Self, hi: Self) -> Self {
-                assert!(lo.0 <= hi.0, "clamp bounds inverted");
-                Self(self.0.clamp(lo.0, hi.0))
-            }
-        }
+/// Electric potential (`M·L²·T⁻³·I⁻¹`). SI base unit: volt.
+///
+/// ```
+/// use finrad_units::Voltage;
+/// assert!((Voltage::from_mv(700.0).volts() - 0.7).abs() < 1e-12);
+/// ```
+pub type Voltage = Quantity<P1, P2, N3, N1>;
 
-        impl Add for $name {
-            type Output = Self;
-            #[inline]
-            fn add(self, rhs: Self) -> Self {
-                Self(self.0 + rhs.0)
-            }
-        }
+/// Surface area (`L²`). SI base unit: square metre.
+///
+/// ```
+/// use finrad_units::{Area, Length};
+/// let a = Length::from_nm(10.0) * Length::from_nm(10.0);
+/// assert!((a.square_micrometers() - 1.0e-4).abs() < 1e-15);
+/// ```
+pub type Area = Quantity<Z0, P2, Z0, Z0>;
 
-        impl AddAssign for $name {
-            #[inline]
-            fn add_assign(&mut self, rhs: Self) {
-                self.0 += rhs.0;
-            }
-        }
+/// Volume (`L³`). SI base unit: cubic metre.
+///
+/// ```
+/// use finrad_units::{Length, Volume};
+/// let v: Volume = Length::from_nm(10.0) * (Length::from_nm(10.0) * Length::from_nm(10.0));
+/// assert!(v.cubic_micrometers() > 0.0);
+/// ```
+pub type Volume = Quantity<Z0, P3, Z0, Z0>;
 
-        impl Sub for $name {
-            type Output = Self;
-            #[inline]
-            fn sub(self, rhs: Self) -> Self {
-                Self(self.0 - rhs.0)
-            }
-        }
+/// Linear electronic stopping power, energy lost per unit path length
+/// (`M·L·T⁻²`). SI base unit: joule per metre.
+///
+/// ```
+/// use finrad_units::StoppingPower;
+/// let s = StoppingPower::from_kev_per_um(100.0);
+/// assert!((s.kev_per_um() - 100.0).abs() < 1e-9);
+/// ```
+pub type StoppingPower = Quantity<P1, P1, N2, Z0>;
 
-        impl SubAssign for $name {
-            #[inline]
-            fn sub_assign(&mut self, rhs: Self) {
-                self.0 -= rhs.0;
-            }
-        }
-
-        impl Neg for $name {
-            type Output = Self;
-            #[inline]
-            fn neg(self) -> Self {
-                Self(-self.0)
-            }
-        }
-
-        impl Mul<f64> for $name {
-            type Output = Self;
-            #[inline]
-            fn mul(self, rhs: f64) -> Self {
-                Self(self.0 * rhs)
-            }
-        }
-
-        impl Mul<$name> for f64 {
-            type Output = $name;
-            #[inline]
-            fn mul(self, rhs: $name) -> $name {
-                $name(self * rhs.0)
-            }
-        }
-
-        impl MulAssign<f64> for $name {
-            #[inline]
-            fn mul_assign(&mut self, rhs: f64) {
-                self.0 *= rhs;
-            }
-        }
-
-        impl Div<f64> for $name {
-            type Output = Self;
-            #[inline]
-            fn div(self, rhs: f64) -> Self {
-                Self(self.0 / rhs)
-            }
-        }
-
-        impl DivAssign<f64> for $name {
-            #[inline]
-            fn div_assign(&mut self, rhs: f64) {
-                self.0 /= rhs;
-            }
-        }
-
-        /// Ratio of two like quantities is dimensionless.
-        impl Div for $name {
-            type Output = f64;
-            #[inline]
-            fn div(self, rhs: Self) -> f64 {
-                self.0 / rhs.0
-            }
-        }
-
-        impl Sum for $name {
-            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
-                Self(iter.map(|q| q.0).sum())
-            }
-        }
-
-        impl fmt::Display for $name {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "{} {}", self.0, $unit_label)
-            }
-        }
-    };
-}
-
-quantity!(
-    /// Particle or deposited energy. SI base unit: joule.
-    ///
-    /// ```
-    /// use finrad_units::Energy;
-    /// let e = Energy::from_mev(1.0);
-    /// assert!((e.kev() - 1000.0).abs() < 1e-9);
-    /// ```
-    Energy,
-    "J"
-);
-quantity!(
-    /// Spatial extent. SI base unit: metre.
-    ///
-    /// ```
-    /// use finrad_units::Length;
-    /// assert!((Length::from_nm(1000.0).micrometers() - 1.0).abs() < 1e-12);
-    /// ```
-    Length,
-    "m"
-);
-quantity!(
-    /// Elapsed time or pulse width. SI base unit: second.
-    ///
-    /// ```
-    /// use finrad_units::Time;
-    /// assert!((Time::from_fs(1.0e6).nanoseconds() - 1.0).abs() < 1e-12);
-    /// ```
-    Time,
-    "s"
-);
-quantity!(
-    /// Electric charge. SI base unit: coulomb.
-    ///
-    /// ```
-    /// use finrad_units::Charge;
-    /// let q = Charge::from_fc(1.0);
-    /// assert!(q.electrons() > 6000.0);
-    /// ```
-    Charge,
-    "C"
-);
-quantity!(
-    /// Electric current. SI base unit: ampere.
-    ///
-    /// ```
-    /// use finrad_units::Current;
-    /// assert!((Current::from_ua(1.0).amperes() - 1.0e-6).abs() < 1e-18);
-    /// ```
-    Current,
-    "A"
-);
-quantity!(
-    /// Electric potential. SI base unit: volt.
-    ///
-    /// ```
-    /// use finrad_units::Voltage;
-    /// assert!((Voltage::from_mv(700.0).volts() - 0.7).abs() < 1e-12);
-    /// ```
-    Voltage,
-    "V"
-);
-quantity!(
-    /// Surface area. SI base unit: square metre.
-    ///
-    /// ```
-    /// use finrad_units::{Area, Length};
-    /// let a = Length::from_nm(10.0) * Length::from_nm(10.0);
-    /// assert!((a.square_micrometers() - 1.0e-4).abs() < 1e-15);
-    /// ```
-    Area,
-    "m^2"
-);
-quantity!(
-    /// Volume. SI base unit: cubic metre.
-    ///
-    /// ```
-    /// use finrad_units::{Length, Volume};
-    /// let v: Volume = Length::from_nm(10.0) * (Length::from_nm(10.0) * Length::from_nm(10.0));
-    /// assert!(v.si_value() > 0.0);
-    /// ```
-    Volume,
-    "m^3"
-);
-quantity!(
-    /// Linear electronic stopping power, energy lost per unit path length.
-    /// SI base unit: joule per metre.
-    ///
-    /// ```
-    /// use finrad_units::StoppingPower;
-    /// let s = StoppingPower::from_kev_per_um(100.0);
-    /// assert!((s.kev_per_um() - 100.0).abs() < 1e-9);
-    /// ```
-    StoppingPower,
-    "J/m"
-);
-quantity!(
-    /// Integral particle flux: particles per unit area per unit time.
-    /// SI base unit: 1/(m²·s).
-    ///
-    /// ```
-    /// use finrad_units::Flux;
-    /// let f = Flux::from_per_cm2_hour(0.001);
-    /// assert!(f.per_m2_second() > 0.0);
-    /// ```
-    Flux,
-    "1/(m^2 s)"
-);
+/// Integral particle flux: particles per unit area per unit time
+/// (`L⁻²·T⁻¹`). SI base unit: 1/(m²·s).
+///
+/// ```
+/// use finrad_units::Flux;
+/// let f = Flux::from_per_cm2_hour(0.001);
+/// assert!(f.per_m2_second() > 0.0);
+/// ```
+pub type Flux = Quantity<Z0, N2, N1, Z0>;
 
 // ------------------------------------------------------------------
 // Unit-specific constructors / accessors
@@ -316,7 +226,7 @@ impl Energy {
     /// Builds an energy from electron-volts.
     #[inline]
     pub fn from_ev(ev: f64) -> Self {
-        Self(ev * J_PER_EV)
+        Self::from_si(ev * J_PER_EV)
     }
 
     /// Builds an energy from kilo-electron-volts.
@@ -334,13 +244,13 @@ impl Energy {
     /// Builds an energy from joules.
     #[inline]
     pub fn from_joules(j: f64) -> Self {
-        Self(j)
+        Self::from_si(j)
     }
 
     /// Energy in electron-volts.
     #[inline]
     pub fn ev(self) -> f64 {
-        self.0 / J_PER_EV
+        self.si_value() / J_PER_EV
     }
 
     /// Energy in kilo-electron-volts.
@@ -358,7 +268,7 @@ impl Energy {
     /// Energy in joules.
     #[inline]
     pub fn joules(self) -> f64 {
-        self.0
+        self.si_value()
     }
 }
 
@@ -366,49 +276,49 @@ impl Length {
     /// Builds a length from metres.
     #[inline]
     pub fn from_meters(m: f64) -> Self {
-        Self(m)
+        Self::from_si(m)
     }
 
     /// Builds a length from centimetres.
     #[inline]
     pub fn from_cm(cm: f64) -> Self {
-        Self(cm * 1.0e-2)
+        Self::from_si(cm * 1.0e-2)
     }
 
     /// Builds a length from micrometres.
     #[inline]
     pub fn from_um(um: f64) -> Self {
-        Self(um * 1.0e-6)
+        Self::from_si(um * 1.0e-6)
     }
 
     /// Builds a length from nanometres.
     #[inline]
     pub fn from_nm(nm: f64) -> Self {
-        Self(nm * 1.0e-9)
+        Self::from_si(nm * 1.0e-9)
     }
 
     /// Length in metres.
     #[inline]
     pub fn meters(self) -> f64 {
-        self.0
+        self.si_value()
     }
 
     /// Length in centimetres.
     #[inline]
     pub fn centimeters(self) -> f64 {
-        self.0 * 1.0e2
+        self.si_value() * 1.0e2
     }
 
     /// Length in micrometres.
     #[inline]
     pub fn micrometers(self) -> f64 {
-        self.0 * 1.0e6
+        self.si_value() * 1.0e6
     }
 
     /// Length in nanometres.
     #[inline]
     pub fn nanometers(self) -> f64 {
-        self.0 * 1.0e9
+        self.si_value() * 1.0e9
     }
 }
 
@@ -416,61 +326,61 @@ impl Time {
     /// Builds a time from seconds.
     #[inline]
     pub fn from_seconds(s: f64) -> Self {
-        Self(s)
+        Self::from_si(s)
     }
 
     /// Builds a time from hours.
     #[inline]
     pub fn from_hours(h: f64) -> Self {
-        Self(h * 3600.0)
+        Self::from_si(h * 3600.0)
     }
 
     /// Builds a time from nanoseconds.
     #[inline]
     pub fn from_ns(ns: f64) -> Self {
-        Self(ns * 1.0e-9)
+        Self::from_si(ns * 1.0e-9)
     }
 
     /// Builds a time from picoseconds.
     #[inline]
     pub fn from_ps(ps: f64) -> Self {
-        Self(ps * 1.0e-12)
+        Self::from_si(ps * 1.0e-12)
     }
 
     /// Builds a time from femtoseconds.
     #[inline]
     pub fn from_fs(fs: f64) -> Self {
-        Self(fs * 1.0e-15)
+        Self::from_si(fs * 1.0e-15)
     }
 
     /// Time in seconds.
     #[inline]
     pub fn seconds(self) -> f64 {
-        self.0
+        self.si_value()
     }
 
     /// Time in hours.
     #[inline]
     pub fn hours(self) -> f64 {
-        self.0 / 3600.0
+        self.si_value() / 3600.0
     }
 
     /// Time in nanoseconds.
     #[inline]
     pub fn nanoseconds(self) -> f64 {
-        self.0 * 1.0e9
+        self.si_value() * 1.0e9
     }
 
     /// Time in picoseconds.
     #[inline]
     pub fn picoseconds(self) -> f64 {
-        self.0 * 1.0e12
+        self.si_value() * 1.0e12
     }
 
     /// Time in femtoseconds.
     #[inline]
     pub fn femtoseconds(self) -> f64 {
-        self.0 * 1.0e15
+        self.si_value() * 1.0e15
     }
 }
 
@@ -478,37 +388,37 @@ impl Charge {
     /// Builds a charge from coulombs.
     #[inline]
     pub fn from_coulombs(c: f64) -> Self {
-        Self(c)
+        Self::from_si(c)
     }
 
     /// Builds a charge from femtocoulombs.
     #[inline]
     pub fn from_fc(fc: f64) -> Self {
-        Self(fc * 1.0e-15)
+        Self::from_si(fc * 1.0e-15)
     }
 
     /// Builds a charge carried by `n` elementary charges.
     #[inline]
     pub fn from_electrons(n: f64) -> Self {
-        Self(n * constants::ELEMENTARY_CHARGE.0)
+        Self::from_si(n * constants::ELEMENTARY_CHARGE.si_value())
     }
 
     /// Charge in coulombs.
     #[inline]
     pub fn coulombs(self) -> f64 {
-        self.0
+        self.si_value()
     }
 
     /// Charge in femtocoulombs.
     #[inline]
     pub fn femtocoulombs(self) -> f64 {
-        self.0 * 1.0e15
+        self.si_value() * 1.0e15
     }
 
     /// Equivalent number of elementary charges.
     #[inline]
     pub fn electrons(self) -> f64 {
-        self.0 / constants::ELEMENTARY_CHARGE.0
+        self.si_value() / constants::ELEMENTARY_CHARGE.si_value()
     }
 }
 
@@ -516,31 +426,31 @@ impl Current {
     /// Builds a current from amperes.
     #[inline]
     pub fn from_amperes(a: f64) -> Self {
-        Self(a)
+        Self::from_si(a)
     }
 
     /// Builds a current from microamperes.
     #[inline]
     pub fn from_ua(ua: f64) -> Self {
-        Self(ua * 1.0e-6)
+        Self::from_si(ua * 1.0e-6)
     }
 
     /// Builds a current from milliamperes.
     #[inline]
     pub fn from_ma(ma: f64) -> Self {
-        Self(ma * 1.0e-3)
+        Self::from_si(ma * 1.0e-3)
     }
 
     /// Current in amperes.
     #[inline]
     pub fn amperes(self) -> f64 {
-        self.0
+        self.si_value()
     }
 
     /// Current in microamperes.
     #[inline]
     pub fn microamperes(self) -> f64 {
-        self.0 * 1.0e6
+        self.si_value() * 1.0e6
     }
 }
 
@@ -548,25 +458,25 @@ impl Voltage {
     /// Builds a voltage from volts.
     #[inline]
     pub fn from_volts(v: f64) -> Self {
-        Self(v)
+        Self::from_si(v)
     }
 
     /// Builds a voltage from millivolts.
     #[inline]
     pub fn from_mv(mv: f64) -> Self {
-        Self(mv * 1.0e-3)
+        Self::from_si(mv * 1.0e-3)
     }
 
     /// Voltage in volts.
     #[inline]
     pub fn volts(self) -> f64 {
-        self.0
+        self.si_value()
     }
 
     /// Voltage in millivolts.
     #[inline]
     pub fn millivolts(self) -> f64 {
-        self.0 * 1.0e3
+        self.si_value() * 1.0e3
     }
 }
 
@@ -574,37 +484,37 @@ impl Area {
     /// Builds an area from square metres.
     #[inline]
     pub fn from_square_meters(m2: f64) -> Self {
-        Self(m2)
+        Self::from_si(m2)
     }
 
     /// Builds an area from square centimetres.
     #[inline]
     pub fn from_square_cm(cm2: f64) -> Self {
-        Self(cm2 * 1.0e-4)
+        Self::from_si(cm2 * 1.0e-4)
     }
 
     /// Builds an area from square micrometres.
     #[inline]
     pub fn from_square_um(um2: f64) -> Self {
-        Self(um2 * 1.0e-12)
+        Self::from_si(um2 * 1.0e-12)
     }
 
     /// Area in square metres.
     #[inline]
     pub fn square_meters(self) -> f64 {
-        self.0
+        self.si_value()
     }
 
     /// Area in square centimetres.
     #[inline]
     pub fn square_cm(self) -> f64 {
-        self.0 * 1.0e4
+        self.si_value() * 1.0e4
     }
 
     /// Area in square micrometres.
     #[inline]
     pub fn square_micrometers(self) -> f64 {
-        self.0 * 1.0e12
+        self.si_value() * 1.0e12
     }
 }
 
@@ -612,13 +522,13 @@ impl Volume {
     /// Builds a volume from cubic metres.
     #[inline]
     pub fn from_cubic_meters(m3: f64) -> Self {
-        Self(m3)
+        Self::from_si(m3)
     }
 
     /// Volume in cubic micrometres.
     #[inline]
     pub fn cubic_micrometers(self) -> f64 {
-        self.0 * 1.0e18
+        self.si_value() * 1.0e18
     }
 }
 
@@ -627,7 +537,7 @@ impl StoppingPower {
     /// charged-particle energy loss in silicon devices).
     #[inline]
     pub fn from_kev_per_um(s: f64) -> Self {
-        Self(s * 1.0e3 * J_PER_EV / 1.0e-6)
+        Self::from_si(s * 1.0e3 * J_PER_EV / 1.0e-6)
     }
 
     /// Builds a stopping power from MeV·cm²/g given a mass density, i.e.
@@ -636,19 +546,19 @@ impl StoppingPower {
     pub fn from_mass_stopping(mev_cm2_per_g: f64, density_g_per_cm3: f64) -> Self {
         // MeV/cm = (MeV cm^2/g) * (g/cm^3)
         let mev_per_cm = mev_cm2_per_g * density_g_per_cm3;
-        Self(mev_per_cm * 1.0e6 * J_PER_EV / 1.0e-2)
+        Self::from_si(mev_per_cm * 1.0e6 * J_PER_EV / 1.0e-2)
     }
 
     /// Stopping power in keV per micrometre.
     #[inline]
     pub fn kev_per_um(self) -> f64 {
-        self.0 / (1.0e3 * J_PER_EV) * 1.0e-6
+        self.si_value() / (1.0e3 * J_PER_EV) * 1.0e-6
     }
 
     /// Stopping power in MeV per centimetre.
     #[inline]
     pub fn mev_per_cm(self) -> f64 {
-        self.0 / (1.0e6 * J_PER_EV) * 1.0e-2
+        self.si_value() / (1.0e6 * J_PER_EV) * 1.0e-2
     }
 }
 
@@ -656,142 +566,39 @@ impl Flux {
     /// Builds a flux from particles per square metre per second.
     #[inline]
     pub fn from_per_m2_second(f: f64) -> Self {
-        Self(f)
+        Self::from_si(f)
     }
 
     /// Builds a flux from particles per square centimetre per hour (the unit
     /// used for alpha emission rates, e.g. the paper's 0.001 α/(h·cm²)).
     #[inline]
     pub fn from_per_cm2_hour(f: f64) -> Self {
-        Self(f / 1.0e-4 / 3600.0)
+        Self::from_si(f / 1.0e-4 / 3600.0)
     }
 
     /// Flux in particles per square metre per second.
     #[inline]
     pub fn per_m2_second(self) -> f64 {
-        self.0
+        self.si_value()
     }
 
     /// Flux in particles per square centimetre per hour.
     #[inline]
     pub fn per_cm2_hour(self) -> f64 {
-        self.0 * 1.0e-4 * 3600.0
-    }
-}
-
-// ------------------------------------------------------------------
-// Cross-dimension arithmetic
-// ------------------------------------------------------------------
-
-/// Charge = Current × Time (e.g. pulse charge = amplitude × width).
-impl Mul<Time> for Current {
-    type Output = Charge;
-    #[inline]
-    fn mul(self, rhs: Time) -> Charge {
-        Charge(self.0 * rhs.0)
-    }
-}
-
-/// Charge = Time × Current.
-impl Mul<Current> for Time {
-    type Output = Charge;
-    #[inline]
-    fn mul(self, rhs: Current) -> Charge {
-        Charge(self.0 * rhs.0)
-    }
-}
-
-/// Current = Charge / Time (e.g. pulse amplitude I = Q/τ, the paper's Eq. 3).
-impl Div<Time> for Charge {
-    type Output = Current;
-    #[inline]
-    fn div(self, rhs: Time) -> Current {
-        Current(self.0 / rhs.0)
-    }
-}
-
-/// Time = Charge / Current.
-impl Div<Current> for Charge {
-    type Output = Time;
-    #[inline]
-    fn div(self, rhs: Current) -> Time {
-        Time(self.0 / rhs.0)
-    }
-}
-
-/// Area = Length × Length.
-impl Mul<Length> for Length {
-    type Output = Area;
-    #[inline]
-    fn mul(self, rhs: Length) -> Area {
-        Area(self.0 * rhs.0)
-    }
-}
-
-/// Volume = Area × Length.
-impl Mul<Length> for Area {
-    type Output = Volume;
-    #[inline]
-    fn mul(self, rhs: Length) -> Volume {
-        Volume(self.0 * rhs.0)
-    }
-}
-
-/// Volume = Length × Area.
-impl Mul<Area> for Length {
-    type Output = Volume;
-    #[inline]
-    fn mul(self, rhs: Area) -> Volume {
-        Volume(self.0 * rhs.0)
-    }
-}
-
-/// Energy = StoppingPower × Length (energy lost along a chord).
-impl Mul<Length> for StoppingPower {
-    type Output = Energy;
-    #[inline]
-    fn mul(self, rhs: Length) -> Energy {
-        Energy(self.0 * rhs.0)
-    }
-}
-
-/// Energy = Length × StoppingPower.
-impl Mul<StoppingPower> for Length {
-    type Output = Energy;
-    #[inline]
-    fn mul(self, rhs: StoppingPower) -> Energy {
-        Energy(self.0 * rhs.0)
-    }
-}
-
-/// StoppingPower = Energy / Length.
-impl Div<Length> for Energy {
-    type Output = StoppingPower;
-    #[inline]
-    fn div(self, rhs: Length) -> StoppingPower {
-        StoppingPower(self.0 / rhs.0)
-    }
-}
-
-/// Energy = Charge × Voltage (e.g. node critical energy CV²-style estimates).
-impl Mul<Voltage> for Charge {
-    type Output = Energy;
-    #[inline]
-    fn mul(self, rhs: Voltage) -> Energy {
-        Energy(self.0 * rhs.0)
+        self.si_value() * 1.0e-4 * 3600.0
     }
 }
 
 /// Physical constants used throughout the workspace.
 pub mod constants {
-    use super::{Charge, Energy};
+    use super::{Charge, Energy, J_PER_EV};
 
     /// The elementary charge, in coulombs.
-    pub const ELEMENTARY_CHARGE: Charge = Charge(1.602_176_634e-19);
+    pub const ELEMENTARY_CHARGE: Charge = Charge::from_si(1.602_176_634e-19);
 
     /// Mean energy to create one electron–hole pair in silicon: 3.6 eV
     /// (the paper's Section 3.2).
-    pub const EHP_PAIR_ENERGY: Energy = Energy(3.6 * 1.602_176_634e-19);
+    pub const EHP_PAIR_ENERGY: Energy = Energy::from_si(3.6 * J_PER_EV);
 
     /// Fano factor of silicon — variance suppression of the pair count
     /// relative to Poisson statistics.
@@ -980,7 +787,7 @@ mod tests {
     #[test]
     fn ehp_pair_count_from_energy() {
         let deposited = Energy::from_mev(1.0);
-        let pairs = deposited / constants::EHP_PAIR_ENERGY;
+        let pairs = (deposited / constants::EHP_PAIR_ENERGY).value();
         assert!((pairs - 1.0e6 / 3.6).abs() < 1.0);
     }
 
@@ -1001,7 +808,7 @@ mod tests {
     fn energy_from_chord_times_stopping() {
         let s = StoppingPower::from_kev_per_um(250.0);
         let chord = Length::from_nm(10.0);
-        let de = s * chord;
+        let de: Energy = s * chord;
         assert!((de.kev() - 2.5).abs() < 1e-9);
     }
 
@@ -1027,8 +834,8 @@ mod tests {
         assert!(lo < hi);
         let mid = Voltage::from_volts(2.0).clamp(lo, hi);
         assert_eq!(mid, hi);
-        assert_eq!(lo.max(hi), hi);
-        assert_eq!(lo.min(hi), lo);
+        assert_eq!(lo.qmax(hi), hi);
+        assert_eq!(lo.qmin(hi), lo);
     }
 
     #[test]
@@ -1039,8 +846,8 @@ mod tests {
 
     #[test]
     fn ratio_is_dimensionless() {
-        let r = Energy::from_mev(4.0) / Energy::from_mev(2.0);
-        assert!((r - 2.0).abs() < 1e-12);
+        let r: Dimensionless = Energy::from_mev(4.0) / Energy::from_mev(2.0);
+        assert!((r.value() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -1077,6 +884,89 @@ mod tests {
     fn display_includes_unit_label() {
         assert!(format!("{}", Voltage::from_volts(0.8)).contains('V'));
         assert!(format!("{}", Length::from_meters(1.0)).contains('m'));
+    }
+}
+
+/// Bit-identity proofs that every retired hand-written cross-dimension
+/// `impl Mul`/`impl Div` has an exactly equivalent generic replacement:
+/// same `f64` bit pattern, same (now type-checked) output dimension.
+#[cfg(test)]
+mod retired_impl_equivalence {
+    use super::*;
+
+    /// Deterministic grid point `i` of `n` in `[lo, hi]`.
+    fn grid(i: u32, n: u32, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * (i as f64 + 0.5) / n as f64
+    }
+
+    /// Asserts that `$a $op $b` (the generic impl) produces the same bits
+    /// as the raw `f64` expression that the retired hand-written impl
+    /// evaluated, and that the result has the annotated output type.
+    macro_rules! assert_retired_impl {
+        ($out:ty, $a:expr, *, $b:expr) => {{
+            let out: $out = $a * $b;
+            assert_eq!(
+                out.si_value().to_bits(),
+                ($a.si_value() * $b.si_value()).to_bits()
+            );
+        }};
+        ($out:ty, $a:expr, /, $b:expr) => {{
+            let out: $out = $a / $b;
+            assert_eq!(
+                out.si_value().to_bits(),
+                ($a.si_value() / $b.si_value()).to_bits()
+            );
+        }};
+    }
+
+    #[test]
+    fn all_retired_impls_bit_identical() {
+        for i in 0..50 {
+            for j in 0..50 {
+                let x = grid(i, 50, 1.0e-9, 1.0e3);
+                let y = grid(j, 50, 1.0e-6, 1.0e4);
+                // Charge = Current × Time (both orders) and its inverses.
+                assert_retired_impl!(Charge, Current::from_amperes(x), *, Time::from_seconds(y));
+                assert_retired_impl!(Charge, Time::from_seconds(x), *, Current::from_amperes(y));
+                assert_retired_impl!(Current, Charge::from_coulombs(x), /, Time::from_seconds(y));
+                assert_retired_impl!(Time, Charge::from_coulombs(x), /, Current::from_amperes(y));
+                // Area / Volume composition.
+                assert_retired_impl!(Area, Length::from_meters(x), *, Length::from_meters(y));
+                assert_retired_impl!(Volume, Area::from_square_meters(x), *, Length::from_meters(y));
+                assert_retired_impl!(Volume, Length::from_meters(x), *, Area::from_square_meters(y));
+                // Energy along a chord (both orders) and its inverse.
+                assert_retired_impl!(Energy, StoppingPower::from_kev_per_um(x), *, Length::from_meters(y));
+                assert_retired_impl!(Energy, Length::from_meters(x), *, StoppingPower::from_kev_per_um(y));
+                assert_retired_impl!(StoppingPower, Energy::from_joules(x), /, Length::from_meters(y));
+                // Energy = Charge × Voltage.
+                assert_retired_impl!(Energy, Charge::from_coulombs(x), *, Voltage::from_volts(y));
+            }
+        }
+    }
+
+    #[test]
+    fn like_ratio_bit_identical_with_retired_div() {
+        // The retired `impl Div for $name` returned a bare f64; the generic
+        // quotient is Dimensionless with the same bits.
+        for i in 0..200 {
+            let x = grid(i, 200, 1.0e-9, 1.0e6);
+            let y = grid(199 - i, 200, 1.0e-9, 1.0e6);
+            macro_rules! chk {
+                ($ctor:expr) => {{
+                    let ratio: Dimensionless = $ctor(x) / $ctor(y);
+                    assert_eq!(ratio.value().to_bits(), (x / y).to_bits());
+                }};
+            }
+            chk!(Energy::from_joules);
+            chk!(Length::from_meters);
+            chk!(Time::from_seconds);
+            chk!(Charge::from_coulombs);
+            chk!(Current::from_amperes);
+            chk!(Voltage::from_volts);
+            chk!(Area::from_square_meters);
+            chk!(Volume::from_cubic_meters);
+            chk!(Flux::from_per_m2_second);
+        }
     }
 }
 

@@ -1,0 +1,321 @@
+//! Hand-rolled type-level integers for compile-time dimensional analysis.
+//!
+//! The [`Quantity`](crate::Quantity) wrapper encodes the exponent of each
+//! SI base dimension (mass, length, time, current) as a *type* from this
+//! module, so that multiplying or dividing two quantities adds or
+//! subtracts the exponents **in the type system** and a dimensionally
+//! invalid expression is a compile error, not a runtime surprise.
+//!
+//! The encoding is typenum-style but deliberately bounded: one marker type
+//! per integer in `[-8, +8]` ([`N8`] … [`Z0`] … [`P8`]), chained through
+//! the [`Integer::Succ`]/[`Integer::Pred`] associated types. Arithmetic is
+//! expressed as trait-level recursion on the right-hand operand:
+//!
+//! * `A + Z0 = A`
+//! * `A + P(n) = (A + P(n-1)) + P1`, where `A + P1 = A::Succ`
+//! * `A + N(n) = (A + N(n+1)) + N1`, where `A + N1 = A::Pred`
+//! * `A - B = A + (-B)`
+//!
+//! The endpoints chain into [`OutOfRange`], which does **not** implement
+//! [`Integer`], so any operation whose result would leave `[-8, +8]` simply
+//! has no impl and fails to compile. The physical quantities used in this
+//! workspace keep their exponents within `[-3, +3]`; the extra headroom
+//! covers intermediate products (e.g. `Volume · Volume`).
+//!
+//! Everything here is `std`-only: no `typenum`, no build script, no macros
+//! visible to downstream crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use finrad_units::tyint::{Integer, Sum, Diff, Negate, P2, P3, N1, Z0};
+//!
+//! assert_eq!(<Sum<P2, N1> as Integer>::I32, 1);
+//! assert_eq!(<Diff<P2, P3> as Integer>::I32, -1);
+//! assert_eq!(<Negate<P2> as Integer>::I32, -2);
+//! assert_eq!(<Z0 as Integer>::I32, 0);
+//! ```
+//!
+//! A sum that would leave the supported range does not compile:
+//!
+//! ```compile_fail
+//! use finrad_units::tyint::{Integer, Sum, P8, P1};
+//!
+//! // +8 + 1 = +9 is outside [-8, +8]: `Sum<P8, P1>` has no impl.
+//! let _ = <Sum<P8, P1> as Integer>::I32;
+//! ```
+
+/// A type-level integer in `[-8, +8]`.
+///
+/// Implemented only by the marker types of this module; [`OutOfRange`] is
+/// deliberately excluded so arithmetic saturating past an endpoint is a
+/// compile error.
+pub trait Integer {
+    /// The integer this type encodes.
+    const I32: i32;
+    /// The next integer (`self + 1`); [`OutOfRange`] at the top endpoint.
+    type Succ;
+    /// The previous integer (`self - 1`); [`OutOfRange`] at the bottom
+    /// endpoint.
+    type Pred;
+}
+
+/// Sentinel one step past either endpoint of the supported range.
+///
+/// Does **not** implement [`Integer`], so any type-level sum or difference
+/// that lands here fails to compile.
+pub struct OutOfRange;
+
+macro_rules! int_types {
+    ($(($name:ident, $val:literal, $succ:ident, $pred:ident)),+ $(,)?) => {$(
+        #[doc = concat!("Type-level integer `", stringify!($val), "`.")]
+        pub struct $name;
+
+        impl Integer for $name {
+            const I32: i32 = $val;
+            type Succ = $succ;
+            type Pred = $pred;
+        }
+    )+};
+}
+
+int_types!(
+    (N8, -8, N7, OutOfRange),
+    (N7, -7, N6, N8),
+    (N6, -6, N5, N7),
+    (N5, -5, N4, N6),
+    (N4, -4, N3, N5),
+    (N3, -3, N2, N4),
+    (N2, -2, N1, N3),
+    (N1, -1, Z0, N2),
+    (Z0, 0, P1, N1),
+    (P1, 1, P2, Z0),
+    (P2, 2, P3, P1),
+    (P3, 3, P4, P2),
+    (P4, 4, P5, P3),
+    (P5, 5, P6, P4),
+    (P6, 6, P7, P5),
+    (P7, 7, P8, P6),
+    (P8, 8, OutOfRange, P7),
+);
+
+/// Type-level addition: `Sum<A, B>` is the type encoding `A + B`.
+pub trait TyAdd<Rhs> {
+    /// The type encoding the sum.
+    type Output;
+}
+
+/// Shorthand for `<A as TyAdd<B>>::Output`.
+pub type Sum<A, B> = <A as TyAdd<B>>::Output;
+
+impl<A: Integer> TyAdd<Z0> for A {
+    type Output = A;
+}
+
+impl<A: Integer> TyAdd<P1> for A
+where
+    A::Succ: Integer,
+{
+    type Output = A::Succ;
+}
+
+impl<A: Integer> TyAdd<N1> for A
+where
+    A::Pred: Integer,
+{
+    type Output = A::Pred;
+}
+
+/// `A + rhs = (A + prev) + step`, recursing one unit step at a time.
+macro_rules! add_via {
+    ($rhs:ident, $prev:ident, $step:ident) => {
+        impl<A: Integer> TyAdd<$rhs> for A
+        where
+            A: TyAdd<$prev>,
+            Sum<A, $prev>: TyAdd<$step>,
+        {
+            type Output = Sum<Sum<A, $prev>, $step>;
+        }
+    };
+}
+
+add_via!(P2, P1, P1);
+add_via!(P3, P2, P1);
+add_via!(P4, P3, P1);
+add_via!(P5, P4, P1);
+add_via!(P6, P5, P1);
+add_via!(P7, P6, P1);
+add_via!(P8, P7, P1);
+add_via!(N2, N1, N1);
+add_via!(N3, N2, N1);
+add_via!(N4, N3, N1);
+add_via!(N5, N4, N1);
+add_via!(N6, N5, N1);
+add_via!(N7, N6, N1);
+add_via!(N8, N7, N1);
+
+/// Type-level negation: `Negate<A>` is the type encoding `-A`.
+pub trait TyNeg {
+    /// The type encoding the negation.
+    type Output;
+}
+
+/// Shorthand for `<A as TyNeg>::Output`.
+pub type Negate<A> = <A as TyNeg>::Output;
+
+macro_rules! neg_impls {
+    ($(($a:ident, $b:ident)),+ $(,)?) => {$(
+        impl TyNeg for $a {
+            type Output = $b;
+        }
+    )+};
+}
+
+neg_impls!(
+    (Z0, Z0),
+    (P1, N1),
+    (P2, N2),
+    (P3, N3),
+    (P4, N4),
+    (P5, N5),
+    (P6, N6),
+    (P7, N7),
+    (P8, N8),
+    (N1, P1),
+    (N2, P2),
+    (N3, P3),
+    (N4, P4),
+    (N5, P5),
+    (N6, P6),
+    (N7, P7),
+    (N8, P8),
+);
+
+/// Type-level subtraction: `Diff<A, B>` is the type encoding `A - B`,
+/// derived as `A + (-B)`.
+pub trait TySub<Rhs> {
+    /// The type encoding the difference.
+    type Output;
+}
+
+/// Shorthand for `<A as TySub<B>>::Output`.
+pub type Diff<A, B> = <A as TySub<B>>::Output;
+
+impl<A, B> TySub<B> for A
+where
+    B: TyNeg,
+    A: TyAdd<Negate<B>>,
+{
+    type Output = Sum<A, Negate<B>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// Compile-time type-identity witness: both arguments must be the
+    /// *same* type, not merely types with equal `I32`.
+    fn same_type<T>(_: PhantomData<T>, _: PhantomData<T>) {}
+
+    /// Expands `$mac!($fixed, X)` for every `X` in the exponent range the
+    /// workspace actually uses, `[-3, +3]`.
+    macro_rules! with_each {
+        ($mac:ident, $fixed:ty) => {
+            $mac!($fixed, N3);
+            $mac!($fixed, N2);
+            $mac!($fixed, N1);
+            $mac!($fixed, Z0);
+            $mac!($fixed, P1);
+            $mac!($fixed, P2);
+            $mac!($fixed, P3);
+        };
+    }
+
+    /// Expands `with_each!($mac, A)` for every `A` in `[-3, +3]`, giving
+    /// the full 7×7 cartesian product.
+    macro_rules! all_pairs {
+        ($mac:ident) => {
+            with_each!($mac, N3);
+            with_each!($mac, N2);
+            with_each!($mac, N1);
+            with_each!($mac, Z0);
+            with_each!($mac, P1);
+            with_each!($mac, P2);
+            with_each!($mac, P3);
+        };
+    }
+
+    #[test]
+    fn add_exhaustive_over_used_range() {
+        macro_rules! chk {
+            ($a:ty, $b:ty) => {
+                assert_eq!(
+                    <Sum<$a, $b> as Integer>::I32,
+                    <$a as Integer>::I32 + <$b as Integer>::I32,
+                );
+            };
+        }
+        all_pairs!(chk);
+    }
+
+    #[test]
+    fn sub_exhaustive_over_used_range() {
+        macro_rules! chk {
+            ($a:ty, $b:ty) => {
+                assert_eq!(
+                    <Diff<$a, $b> as Integer>::I32,
+                    <$a as Integer>::I32 - <$b as Integer>::I32,
+                );
+            };
+        }
+        all_pairs!(chk);
+    }
+
+    #[test]
+    fn neg_exhaustive_and_involutive() {
+        macro_rules! chk {
+            ($a:ty) => {
+                assert_eq!(<Negate<$a> as Integer>::I32, -<$a as Integer>::I32);
+                // neg(neg(a)) is *the same type* as a, not just equal-valued.
+                same_type(PhantomData::<Negate<Negate<$a>>>, PhantomData::<$a>);
+            };
+        }
+        chk!(N3);
+        chk!(N2);
+        chk!(N1);
+        chk!(Z0);
+        chk!(P1);
+        chk!(P2);
+        chk!(P3);
+    }
+
+    #[test]
+    fn additive_identities_are_type_identities() {
+        macro_rules! chk {
+            ($a:ty) => {
+                // a + 0 = a and a - a = 0, as type equalities.
+                same_type(PhantomData::<Sum<$a, Z0>>, PhantomData::<$a>);
+                same_type(PhantomData::<Diff<$a, $a>>, PhantomData::<Z0>);
+                // a - b = a + (-b) holds definitionally; spot-check the
+                // commuted form a + b = b + a normalizes to one type.
+                same_type(PhantomData::<Sum<$a, P2>>, PhantomData::<Sum<P2, $a>>);
+            };
+        }
+        chk!(N3);
+        chk!(N2);
+        chk!(N1);
+        chk!(Z0);
+        chk!(P1);
+        chk!(P2);
+        chk!(P3);
+    }
+
+    #[test]
+    fn full_range_endpoints_resolve() {
+        assert_eq!(<Sum<P7, P1> as Integer>::I32, 8);
+        assert_eq!(<Sum<N7, N1> as Integer>::I32, -8);
+        assert_eq!(<Sum<P8, N8> as Integer>::I32, 0);
+        assert_eq!(<Diff<N8, N8> as Integer>::I32, 0);
+    }
+}

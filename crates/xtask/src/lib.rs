@@ -4,10 +4,14 @@
 //! The gate runs in two phases. Phase 1 builds a [`index::WorkspaceIndex`]
 //! from three anchor files (the metric-key registry, the sanctioned RNG
 //! seed-derivation helpers, and the checkpoint codec). Phase 2 lints every
-//! file against nine families (see [`lints`]):
+//! file against ten families (see [`lints`]):
 //!
-//! * `unit-safety` — public physics APIs must use `finrad-units` newtypes,
-//!   not bare `f64`, for dimensioned parameters and returns.
+//! * `unit-safety` — public physics APIs must use `finrad-units` quantity
+//!   types, not bare `f64`, for dimensioned *parameters*. (Return types
+//!   are covered by the type system plus `raw-escape-audit`.)
+//! * `raw-escape-audit` — the raw-f64 escape hatches `si_value()` /
+//!   `from_si(..)` only inside the sanctioned sites (units internals,
+//!   checkpoint serialization, SPICE MNA assembly).
 //! * `rng-determinism` — no entropy- or wall-clock-seeded randomness
 //!   anywhere; Monte-Carlo results must be reproducible from a seed.
 //! * `panic-freedom` — no `unwrap`/`expect`/`panic!`-family calls or LUT

@@ -27,6 +27,10 @@ use crate::source::ScrubbedSource;
 pub enum LintId {
     /// Bare `f64` in public physics signatures where a unit newtype exists.
     UnitSafety,
+    /// `si_value()` / `from_si(..)` raw-f64 escape hatches outside the
+    /// sanctioned sites (units internals, checkpoint serialization, SPICE
+    /// MNA assembly).
+    RawEscapeAudit,
     /// Entropy-seeded or wall-clock-seeded randomness in library code.
     RngDeterminism,
     /// `unwrap`/`expect`/`panic!`-family calls and LUT slice indexing in
@@ -56,6 +60,7 @@ impl LintId {
     pub fn as_str(self) -> &'static str {
         match self {
             LintId::UnitSafety => "unit-safety",
+            LintId::RawEscapeAudit => "raw-escape-audit",
             LintId::RngDeterminism => "rng-determinism",
             LintId::PanicFreedom => "panic-freedom",
             LintId::FloatDiscipline => "float-discipline",
@@ -73,13 +78,17 @@ impl LintId {
     pub fn baselineable(self) -> bool {
         !matches!(
             self,
-            LintId::RngDeterminism | LintId::CheckpointSchemaDrift | LintId::UnusedSuppression
+            LintId::RngDeterminism
+                | LintId::RawEscapeAudit
+                | LintId::CheckpointSchemaDrift
+                | LintId::UnusedSuppression
         )
     }
 
     /// Every lint family, in reporting order.
-    pub const ALL: [LintId; 9] = [
+    pub const ALL: [LintId; 10] = [
         LintId::UnitSafety,
+        LintId::RawEscapeAudit,
         LintId::RngDeterminism,
         LintId::PanicFreedom,
         LintId::FloatDiscipline,
@@ -156,6 +165,7 @@ pub fn lint_file(
     if unit_safety {
         lint_unit_safety(path, src, &mut out);
     }
+    lint_raw_escape(path, lexed, &mut out);
     lint_rng_determinism(path, src, &mut out);
     lint_panic_freedom(path, src, &mut out);
     lint_float_discipline(path, src, &mut out);
@@ -772,25 +782,76 @@ fn lint_unit_safety(path: &Path, src: &ScrubbedSource, out: &mut Vec<Violation>)
             }
         }
 
-        if let Some(ret) = sig[open..].find("->") {
-            let ret_ty = sig[open + ret + 2..]
-                .split(" where")
-                .next()
-                .unwrap_or("")
-                .trim();
-            if ret_ty == "f64" && matches_unit_vocab(&name) {
-                let (line, col) = line_col_of(fn_start);
-                out.push(Violation {
-                    lint: LintId::UnitSafety,
-                    file: path.to_path_buf(),
-                    line,
-                    col,
-                    message: format!(
-                        "`pub fn {name}` returns bare `f64`; use the matching finrad-units newtype"
-                    ),
-                });
-            }
+        // Note: the historical return-type arm (`pub fn vdd() -> f64`) is
+        // retired. Producing a dimensioned value as a bare f64 now requires
+        // an explicit `si_value()` call, which the raw-escape-audit family
+        // catches at the call site with a precise span; only the
+        // parameter-side vocabulary check remains, because an *input* f64
+        // is invisible to the type system.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// raw-escape-audit
+// ---------------------------------------------------------------------------
+
+/// Repo-relative paths (files or directory prefixes) where the raw-f64
+/// escape hatches `si_value()` / `from_si(..)` are sanctioned:
+///
+/// * `crates/units` — the unit system's own constructors/accessors are
+///   implemented in terms of the escapes;
+/// * `crates/core/src/checkpoint.rs` — checkpoint (de)serialization needs
+///   raw bit patterns for the fingerprinted codec;
+/// * `crates/spice/src/circuit.rs` — MNA assembly packs quantities into
+///   bare-f64 matrix stamps on the solver hot path.
+pub const RAW_ESCAPE_SANCTIONED: [&str; 3] = [
+    "crates/units",
+    "crates/core/src/checkpoint.rs",
+    "crates/spice/src/circuit.rs",
+];
+
+/// True when `path` (repo-relative) is inside a sanctioned raw-escape site.
+fn raw_escape_sanctioned(path: &Path) -> bool {
+    RAW_ESCAPE_SANCTIONED
+        .iter()
+        .any(|p| path.starts_with(Path::new(p)))
+}
+
+/// Flags `si_value()` / `from_si(..)` calls outside the sanctioned sites.
+///
+/// The escapes exist so the units crate can be built and serialized; in
+/// physics code they reintroduce exactly the raw-f64 plumbing the
+/// `Quantity` types eliminate, so every use outside
+/// [`RAW_ESCAPE_SANCTIONED`] is a violation (pinned at `--max 0` in CI).
+/// Test code is exempt — asserting on raw SI values is legitimate.
+fn lint_raw_escape(path: &Path, lexed: &LexedFile, out: &mut Vec<Violation>) {
+    if raw_escape_sanctioned(path) {
+        return;
+    }
+    let tokens = &lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.in_test || tok.kind != TokenKind::Ident {
+            continue;
         }
+        let is_escape = matches!(tok.text.as_str(), "si_value" | "from_si");
+        if !is_escape || !tokens.get(i + 1).is_some_and(|t| t.text == "(") {
+            continue;
+        }
+        let advice = if tok.text == "si_value" {
+            "read the value through a domain accessor or keep it typed"
+        } else {
+            "construct through a domain constructor (`from_kev`, `from_nm`, ...)"
+        };
+        out.push(Violation {
+            lint: LintId::RawEscapeAudit,
+            file: path.to_path_buf(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{}(..)` bypasses the compile-time dimension checking outside a sanctioned site; {advice}",
+                tok.text
+            ),
+        });
     }
 }
 
@@ -925,18 +986,74 @@ mod tests {
     }
 
     #[test]
-    fn unit_safety_return_type() {
-        let v = run("pub fn vdd(&self) -> f64 { 0.8 }\n");
+    fn unit_safety_return_type_check_is_retired() {
+        // Returning a dimensioned f64 now requires an `si_value()` call,
+        // which raw-escape-audit catches; the signature itself is clean.
+        assert!(run("pub fn vdd(&self) -> f64 { 0.8 }\n").is_empty());
+        let v = run("pub fn vdd(&self) -> f64 { self.vdd.si_value() }\n");
         assert_eq!(v.len(), 1);
-        assert!(v[0].message.contains("returns bare `f64`"));
-        assert_eq!((v[0].line, v[0].col), (1, 1));
+        assert_eq!(v[0].lint, LintId::RawEscapeAudit);
     }
 
     #[test]
     fn unit_safety_ignores_newtypes_and_private_fns() {
         assert!(run("pub fn vdd(&self) -> Voltage { self.vdd }\n").is_empty());
-        assert!(run("fn vdd(&self) -> f64 { 0.8 }\n").is_empty());
+        assert!(run("fn vdd(&self) -> u64 { 8 }\n").is_empty());
         assert!(run("pub fn scale(factor: f64) -> f64 { factor }\n").is_empty());
+    }
+
+    #[test]
+    fn raw_escape_fires_with_spans_outside_sanctioned_sites() {
+        let src = "fn f(e: Energy) -> f64 { e.si_value() }\nfn g(x: f64) -> Energy { Energy::from_si(x) }\n";
+        let v = lint_file(
+            Path::new("crates/transport/src/x.rs"),
+            &scrub(src),
+            &lex(src),
+            false,
+            None,
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].lint, LintId::RawEscapeAudit);
+        assert_eq!((v[0].line, v[0].col), (1, 28));
+        assert!(v[0].message.contains("si_value"));
+        assert_eq!((v[1].line, v[1].col), (2, 34));
+        assert!(v[1].message.contains("from_si"));
+    }
+
+    #[test]
+    fn raw_escape_sanctioned_sites_and_tests_are_exempt() {
+        let src = "fn f(e: Energy) -> f64 { e.si_value() }\n";
+        for sanctioned in [
+            "crates/units/src/quantity.rs",
+            "crates/core/src/checkpoint.rs",
+            "crates/spice/src/circuit.rs",
+        ] {
+            let v = lint_file(Path::new(sanctioned), &scrub(src), &lex(src), false, None);
+            assert!(v.is_empty(), "{sanctioned} should be sanctioned");
+        }
+        // checkpoint.rs is sanctioned; its siblings are not.
+        let v = lint_file(
+            Path::new("crates/core/src/fit.rs"),
+            &scrub(src),
+            &lex(src),
+            false,
+            None,
+        );
+        assert_eq!(v.len(), 1);
+        // Test code may assert on raw SI values.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { assert!(e.si_value() > 0.0); }\n}\n";
+        assert!(run(test_src).is_empty());
+    }
+
+    #[test]
+    fn raw_escape_ignores_lookalikes_and_honours_allow() {
+        // Identifier must be exact and must be a call.
+        assert!(run("fn f() { let si_value = 3; let _ = si_value; }\n").is_empty());
+        assert!(run("fn f(q: Q) { let _ = q.to_si_value(); }\n").is_empty());
+        let src =
+            "fn f(e: Energy) -> f64 {\n    // finrad-lint: allow(raw-escape-audit)\n    e.si_value()\n}\n";
+        assert!(run(src).is_empty());
     }
 
     #[test]

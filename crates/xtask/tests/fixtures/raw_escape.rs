@@ -1,0 +1,12 @@
+// Fixture: raw-escape-audit violations — the raw-f64 escape hatches used
+// outside a sanctioned site. Not compiled; consumed by the lint tests.
+
+pub fn collected_fraction(energy: Energy) -> f64 {
+    // Raw read-out in physics code: flagged at the call site.
+    energy.si_value() * 0.5
+}
+
+pub fn make_charge(raw: f64) -> Charge {
+    // Raw construction in physics code: flagged at the call site.
+    Charge::from_si(raw)
+}

@@ -36,14 +36,25 @@ fn lint_fixture_indexed(name: &str) -> (Vec<Violation>, WorkspaceIndex) {
 #[test]
 fn unit_safety_fixture() {
     let v = lint_fixture("unit_safety.rs");
-    assert_eq!(v.len(), 2, "{v:#?}");
-    assert!(v.iter().all(|v| v.lint == LintId::UnitSafety));
+    // Only the parameter-side check remains; the return site on line 11 is
+    // the type system's (and raw-escape-audit's) problem now.
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::UnitSafety);
     // `pub fn set_supply(vdd: f64)` — param violation on line 4.
     assert_eq!(v[0].line, 4);
     assert!(v[0].message.contains("vdd: f64"));
-    // `pub fn vdd(&self) -> f64` — return violation on line 11.
-    assert_eq!(v[1].line, 11);
-    assert!(v[1].message.contains("returns bare `f64`"));
+}
+
+#[test]
+fn raw_escape_fixture() {
+    let v = lint_fixture("raw_escape.rs");
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v.iter().all(|v| v.lint == LintId::RawEscapeAudit));
+    // `energy.si_value()` on line 6, `Charge::from_si(..)` on line 11.
+    assert_eq!((v[0].line, v[0].col), (6, 12));
+    assert!(v[0].message.contains("si_value"));
+    assert_eq!((v[1].line, v[1].col), (11, 13));
+    assert!(v[1].message.contains("from_si"));
 }
 
 #[test]
