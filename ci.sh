@@ -16,6 +16,12 @@ cargo test -q --offline -p finrad-units --doc
 echo "==> cargo test --features fault-injection (robustness suite)"
 cargo test -q --offline --features fault-injection --test fault_injection
 
+echo "==> cargo test --features fault-injection (service supervision suite)"
+cargo test -q --offline --features fault-injection --test service_supervision
+
+echo "==> campaign service smoke example (under fault injection)"
+cargo run -q --offline --release --features fault-injection --example campaign_service
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

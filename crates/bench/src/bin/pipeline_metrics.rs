@@ -5,8 +5,14 @@
 //! `cargo xtask bench` scrapes the `METRICSJSON` line to embed pipeline
 //! counters (Newton iterations, strike-MC throughput, …) into the
 //! `BENCH_<n>.json` trajectory file; see `docs/observability.md`.
+//!
+//! The run also drives the supervised campaign service with a duplicate
+//! submission, so the snapshot carries the `core.service.*` supervision
+//! counters — cache hit rate and queue/bin throughput in particular.
 
+use finrad_core::campaign::CampaignConfig;
 use finrad_core::pipeline::{PipelineConfig, SerPipeline};
+use finrad_core::service::{CampaignService, ServiceConfig};
 use finrad_units::{Particle, Voltage};
 
 fn main() {
@@ -23,6 +29,29 @@ fn main() {
         eprintln!("error: smoke pipeline failed: {e}");
         std::process::exit(1);
     }
+
+    // Service workload: the same campaign twice through the job queue.
+    // The first submission computes; the identical resubmission must be a
+    // cache hit, which the trajectory file tracks as a regression gate on
+    // the config-fingerprint dedupe path.
+    let mut campaign = PipelineConfig::smoke_test();
+    campaign.iterations_per_energy = 1_000;
+    let cfg = CampaignConfig::new(campaign, Particle::Alpha, Voltage::from_volts(0.8));
+    let service = CampaignService::start(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let first = service.submit(cfg.clone());
+    if let Err(e) = service.wait(first) {
+        eprintln!("error: service campaign {first} failed: {e}");
+        std::process::exit(1);
+    }
+    let second = service.submit(cfg);
+    if let Err(e) = service.wait(second) {
+        eprintln!("error: service campaign {second} failed: {e}");
+        std::process::exit(1);
+    }
+    service.drain();
 
     let snapshot = recorder.snapshot();
     println!("# pipeline metrics (smoke-scale alpha run at 0.8 V)");

@@ -28,11 +28,12 @@ use crate::fit::{fit_rate_checked, FitRate, PofBin};
 use crate::pipeline::{PipelineConfig, SerPipeline};
 use crate::strike::{DepositMode, StrikeSimulator};
 use crate::CoreError;
+use finrad_environment::SpectrumBin;
 use finrad_units::{Particle, Voltage};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Configuration of a fault-tolerant campaign.
 #[derive(Debug, Clone)]
@@ -86,15 +87,33 @@ pub struct FaultPlan {
     /// resulting means, and hence the FIT, must be bit-identical to an
     /// unpoisoned run).
     pub poison_samples: Vec<usize>,
+    /// `(bin, panics)` pairs: the bin panics inside its supervision
+    /// envelope while the zero-based retry attempt is below `panics`, then
+    /// succeeds. With `panics <= max_retries` the campaign service's
+    /// retry/backoff path recovers the bin; beyond that it is quarantined.
+    /// Under [`CampaignRunner`] (single attempt) any `panics > 0` entry
+    /// simply degrades the bin to [`BinOutcome::Failed`].
+    pub panic_bins: Vec<(usize, u32)>,
 }
 
 /// Errors a campaign can surface. Every degradation path ends here (or in
 /// a degraded-coverage report) — never in a panic.
 #[derive(Debug)]
 pub enum CampaignError {
-    /// Checkpoint load/save failed (truncated, corrupt, wrong version, or
-    /// I/O).
+    /// Checkpoint load/save failed (corrupt, wrong version, or I/O).
     Checkpoint(CheckpointError),
+    /// The checkpoint on disk is a partial write: the file ends before its
+    /// checksum line, or is cut mid-line (every complete snapshot ends
+    /// with a newline). Distinct from [`CampaignError::Checkpoint`] with
+    /// [`CheckpointError::Corrupt`] so an interrupted writer is not
+    /// misdiagnosed as data corruption — deleting the partial file and
+    /// re-running is safe and sufficient.
+    CheckpointTruncated {
+        /// The partially-written file.
+        path: PathBuf,
+        /// What the classifier observed.
+        detail: String,
+    },
     /// The checkpoint on disk was produced by a different configuration;
     /// resuming from it would silently mix incompatible tallies.
     ConfigMismatch {
@@ -118,6 +137,12 @@ impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::CheckpointTruncated { path, detail } => write!(
+                f,
+                "checkpoint {} is a partial write: {detail} \
+                 (delete it or restore a complete snapshot, then resume)",
+                path.display()
+            ),
             CampaignError::ConfigMismatch { expected, found } => write!(
                 f,
                 "checkpoint config mismatch: expected fingerprint {expected:016x}, \
@@ -273,7 +298,7 @@ impl CampaignRunner {
         if !path.exists() {
             return self.run();
         }
-        let ck = Checkpoint::load(path)?;
+        let ck = load_checkpoint_classified(path)?;
         let expected =
             config_fingerprint(&self.config.pipeline, self.config.particle, self.config.vdd);
         if ck.fingerprint != expected {
@@ -294,34 +319,7 @@ impl CampaignRunner {
         let spectrum_bins = self.pipeline.energy_bins(cfg.particle);
         let total = spectrum_bins.len();
 
-        let mut outcomes: Vec<Option<BinOutcome>> = vec![None; total];
-        for rec in prior {
-            let k = rec.index();
-            if k >= total {
-                return Err(CheckpointError::Corrupt(format!(
-                    "bin index {k} out of range for {total} bins"
-                ))
-                .into());
-            }
-            outcomes[k] = Some(match rec {
-                BinRecord::Ok {
-                    pof_total,
-                    pof_seu,
-                    pof_mbu,
-                    quarantined,
-                    ..
-                } => BinOutcome::Ok {
-                    bin: PofBin {
-                        spectrum: spectrum_bins[k],
-                        pof_total,
-                        pof_seu,
-                        pof_mbu,
-                    },
-                    quarantined,
-                },
-                BinRecord::Failed { error, .. } => BinOutcome::Failed { error },
-            });
-        }
+        let mut outcomes = prefill_outcomes(prior, &spectrum_bins)?;
 
         let array = self.pipeline.build_array();
         let traversal = self.pipeline.traversal();
@@ -349,66 +347,10 @@ impl CampaignRunner {
                     return Ok(CampaignStatus::Paused { completed, total });
                 }
             }
-            #[cfg(feature = "fault-injection")]
-            if cfg.fault_plan.fail_bins.contains(&k) {
-                outcomes[k] = Some(BinOutcome::Failed {
-                    error: format!("injected fault: bin {k} forced to fail"),
-                });
-                new_bins += 1;
-                continue;
-            }
-            // Exactly the per-bin seed SerPipeline::run_with_table derives
-            // — the bit-identical-resume guarantee hangs on this.
-            let seed = cfg.pipeline.seed.wrapping_add(0xB10C + k as u64 * 6271);
-            let iterations = cfg.pipeline.iterations_per_energy;
-            let bin_timer = finrad_observe::span(finrad_observe::keys::CAMPAIGN_BIN_SECONDS);
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                sim.estimate(cfg.particle, sb.energy, iterations, seed)
-            }));
-            drop(bin_timer);
-            finrad_observe::counter_add(
-                if result.is_ok() {
-                    finrad_observe::keys::CAMPAIGN_BINS_OK
-                } else {
-                    finrad_observe::keys::CAMPAIGN_BINS_FAILED
-                },
-                1,
-            );
-            outcomes[k] = Some(match result {
-                Ok(est) => {
-                    #[cfg(feature = "fault-injection")]
-                    let est = {
-                        let mut est = est;
-                        if cfg.fault_plan.poison_samples.contains(&k) {
-                            est.push(crate::strike::IterationOutcome {
-                                pof_total: f64::NAN,
-                                pof_seu: f64::NAN,
-                                pof_mbu: f64::NAN,
-                                cells_struck: 0,
-                            });
-                        }
-                        est
-                    };
-                    #[allow(unused_mut)]
-                    let mut bin = PofBin {
-                        spectrum: *sb,
-                        pof_total: est.total.mean(),
-                        pof_seu: est.seu.mean(),
-                        pof_mbu: est.mbu.mean(),
-                    };
-                    #[cfg(feature = "fault-injection")]
-                    if cfg.fault_plan.poison_bins.contains(&k) {
-                        bin.pof_total = f64::NAN;
-                        bin.pof_seu = f64::NAN;
-                        bin.pof_mbu = f64::NAN;
-                    }
-                    BinOutcome::Ok {
-                        bin,
-                        quarantined: est.quarantined,
-                    }
-                }
-                Err(payload) => BinOutcome::Failed {
-                    error: format!("bin {k} panicked: {}", payload_message(payload.as_ref())),
+            outcomes[k] = Some(match supervised_bin(&sim, cfg, k, sb, 0) {
+                Ok(outcome) => outcome,
+                Err(msg) => BinOutcome::Failed {
+                    error: format!("bin {k} panicked: {msg}"),
                 },
             });
             new_bins += 1;
@@ -417,115 +359,283 @@ impl CampaignRunner {
         if new_bins > 0 {
             self.save_checkpoint(&outcomes)?;
         }
-        self.integrate(outcomes, &array, &spectrum_bins)
+        integrate_outcomes(cfg.particle, cfg.vdd, outcomes, &array, &spectrum_bins)
             .map(|report| CampaignStatus::Complete(Box::new(report)))
-    }
-
-    fn integrate(
-        &self,
-        outcomes: Vec<Option<BinOutcome>>,
-        array: &crate::array::MemoryArray,
-        spectrum_bins: &[finrad_environment::SpectrumBin],
-    ) -> Result<CampaignReport, CampaignError> {
-        let total = outcomes.len();
-        let outcomes: Vec<BinOutcome> = outcomes
-            .into_iter()
-            .map(|o| {
-                o.unwrap_or_else(|| BinOutcome::Failed {
-                    error: "bin never scheduled (internal accounting error)".into(),
-                })
-            })
-            .collect();
-        let ok_pof_bins: Vec<PofBin> = outcomes
-            .iter()
-            .filter_map(|o| match o {
-                BinOutcome::Ok { bin, .. } => Some(*bin),
-                BinOutcome::Failed { .. } => None,
-            })
-            .collect();
-        if ok_pof_bins.is_empty() {
-            return Err(CampaignError::NoCoverage { total_bins: total });
-        }
-        let (fit, non_finite_bins) = fit_rate_checked(&ok_pof_bins, array.footprint());
-        let quarantined_samples: u64 = outcomes
-            .iter()
-            .map(|o| match o {
-                BinOutcome::Ok { quarantined, .. } => *quarantined,
-                BinOutcome::Failed { .. } => 0,
-            })
-            .sum();
-        let total_flux: f64 = spectrum_bins
-            .iter()
-            .map(|sb| sb.integral_flux.per_m2_second())
-            .sum();
-        let covered_flux: f64 = ok_pof_bins
-            .iter()
-            .filter(|b| b.pof_total.is_finite() && b.pof_seu.is_finite() && b.pof_mbu.is_finite())
-            .map(|b| b.spectrum.integral_flux.per_m2_second())
-            .sum();
-        let coverage = Coverage {
-            total_bins: total,
-            ok_bins: ok_pof_bins.len(),
-            failed_bins: total - ok_pof_bins.len(),
-            non_finite_bins,
-            quarantined_samples,
-            flux_fraction: if total_flux > 0.0 {
-                covered_flux / total_flux
-            } else {
-                1.0
-            },
-        };
-        Ok(CampaignReport {
-            particle: self.config.particle,
-            vdd: self.config.vdd,
-            fit,
-            outcomes,
-            coverage,
-        })
     }
 
     fn save_checkpoint(&self, outcomes: &[Option<BinOutcome>]) -> Result<(), CampaignError> {
         let Some(path) = &self.config.checkpoint_path else {
             return Ok(());
         };
-        let bins: Vec<BinRecord> = outcomes
-            .iter()
-            .enumerate()
-            .filter_map(|(k, o)| o.as_ref().map(|o| (k, o)))
-            .map(|(k, o)| match o {
-                BinOutcome::Ok { bin, quarantined } => BinRecord::Ok {
-                    index: k,
-                    pof_total: bin.pof_total,
-                    pof_seu: bin.pof_seu,
-                    pof_mbu: bin.pof_mbu,
-                    quarantined: *quarantined,
-                    energy_joules: bin.spectrum.energy.joules(),
-                    flux_per_m2_s: bin.spectrum.integral_flux.per_m2_second(),
-                },
-                BinOutcome::Failed { error } => BinRecord::Failed {
-                    index: k,
-                    error: error.clone(),
-                },
-            })
-            .collect();
-        let ck = Checkpoint {
-            fingerprint: config_fingerprint(
-                &self.config.pipeline,
-                self.config.particle,
-                self.config.vdd,
-            ),
-            particle: self.config.particle,
-            vdd_bits: self.config.vdd.volts().to_bits(),
-            total_bins: outcomes.len(),
-            bins,
-        };
+        let ck = build_checkpoint(&self.config, outcomes);
         debug_assert_eq!(CHECKPOINT_VERSION, 1);
         ck.save(path)?;
         Ok(())
     }
 }
 
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Runs one energy bin inside the supervision envelope shared by
+/// [`CampaignRunner`] and the campaign service: fault-plan hooks, panic
+/// capture via `catch_unwind`, and per-bin wall-time/outcome metrics.
+///
+/// `attempt` is the zero-based retry attempt; the fault plan's
+/// `panic_bins` entries panic while `attempt` is below their count, which
+/// is how the service's retry/backoff path is exercised deterministically.
+/// `Ok` carries the bin outcome (possibly a planned [`BinOutcome::Failed`]);
+/// `Err` carries the captured panic message so the caller decides between
+/// retrying and quarantining.
+pub(crate) fn supervised_bin(
+    sim: &StrikeSimulator<'_>,
+    cfg: &CampaignConfig,
+    k: usize,
+    sb: &SpectrumBin,
+    attempt: u32,
+) -> Result<BinOutcome, String> {
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = attempt;
+    #[cfg(feature = "fault-injection")]
+    if cfg.fault_plan.fail_bins.contains(&k) {
+        return Ok(BinOutcome::Failed {
+            error: format!("injected fault: bin {k} forced to fail"),
+        });
+    }
+    // Exactly the per-bin seed SerPipeline::run_with_table derives —
+    // the bit-identical-resume guarantee hangs on this.
+    let seed = cfg.pipeline.seed.wrapping_add(0xB10C + k as u64 * 6271);
+    let iterations = cfg.pipeline.iterations_per_energy;
+    let bin_timer = finrad_observe::span(finrad_observe::keys::CAMPAIGN_BIN_SECONDS);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-injection")]
+        if let Some((_, panics)) = cfg.fault_plan.panic_bins.iter().find(|(b, _)| *b == k) {
+            if attempt < *panics {
+                // Deliberate injected worker crash; the envelope above
+                // catches it and the supervisor retries or quarantines.
+                // finrad-lint: allow(panic-freedom)
+                panic!("injected fault: bin {k} panicked (attempt {attempt})");
+            }
+        }
+        sim.estimate(cfg.particle, sb.energy, iterations, seed)
+    }));
+    drop(bin_timer);
+    finrad_observe::counter_add(
+        if result.is_ok() {
+            finrad_observe::keys::CAMPAIGN_BINS_OK
+        } else {
+            finrad_observe::keys::CAMPAIGN_BINS_FAILED
+        },
+        1,
+    );
+    match result {
+        Ok(est) => {
+            #[cfg(feature = "fault-injection")]
+            let est = {
+                let mut est = est;
+                if cfg.fault_plan.poison_samples.contains(&k) {
+                    est.push(crate::strike::IterationOutcome {
+                        pof_total: f64::NAN,
+                        pof_seu: f64::NAN,
+                        pof_mbu: f64::NAN,
+                        cells_struck: 0,
+                    });
+                }
+                est
+            };
+            #[allow(unused_mut)]
+            let mut bin = PofBin {
+                spectrum: *sb,
+                pof_total: est.total.mean(),
+                pof_seu: est.seu.mean(),
+                pof_mbu: est.mbu.mean(),
+            };
+            #[cfg(feature = "fault-injection")]
+            if cfg.fault_plan.poison_bins.contains(&k) {
+                bin.pof_total = f64::NAN;
+                bin.pof_seu = f64::NAN;
+                bin.pof_mbu = f64::NAN;
+            }
+            Ok(BinOutcome::Ok {
+                bin,
+                quarantined: est.quarantined,
+            })
+        }
+        Err(payload) => Err(payload_message(payload.as_ref())),
+    }
+}
+
+/// Maps checkpointed bin records back onto a campaign's outcome table
+/// (`None` = not yet computed). Shared by [`CampaignRunner::resume`] and
+/// the campaign service's prepare step.
+pub(crate) fn prefill_outcomes(
+    prior: Vec<BinRecord>,
+    spectrum_bins: &[SpectrumBin],
+) -> Result<Vec<Option<BinOutcome>>, CampaignError> {
+    let total = spectrum_bins.len();
+    let mut outcomes: Vec<Option<BinOutcome>> = vec![None; total];
+    for rec in prior {
+        let k = rec.index();
+        if k >= total {
+            return Err(CheckpointError::Corrupt(format!(
+                "bin index {k} out of range for {total} bins"
+            ))
+            .into());
+        }
+        outcomes[k] = Some(match rec {
+            BinRecord::Ok {
+                pof_total,
+                pof_seu,
+                pof_mbu,
+                quarantined,
+                ..
+            } => BinOutcome::Ok {
+                bin: PofBin {
+                    spectrum: spectrum_bins[k],
+                    pof_total,
+                    pof_seu,
+                    pof_mbu,
+                },
+                quarantined,
+            },
+            BinRecord::Failed { error, .. } => BinOutcome::Failed { error },
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Folds per-bin outcomes into a [`CampaignReport`] (Eq. 8 over the
+/// covered bins plus the explicit [`Coverage`] summary). Shared by
+/// [`CampaignRunner`] and the campaign service.
+pub(crate) fn integrate_outcomes(
+    particle: Particle,
+    vdd: Voltage,
+    outcomes: Vec<Option<BinOutcome>>,
+    array: &crate::array::MemoryArray,
+    spectrum_bins: &[SpectrumBin],
+) -> Result<CampaignReport, CampaignError> {
+    let total = outcomes.len();
+    let outcomes: Vec<BinOutcome> = outcomes
+        .into_iter()
+        .map(|o| {
+            o.unwrap_or_else(|| BinOutcome::Failed {
+                error: "bin never scheduled (internal accounting error)".into(),
+            })
+        })
+        .collect();
+    let ok_pof_bins: Vec<PofBin> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            BinOutcome::Ok { bin, .. } => Some(*bin),
+            BinOutcome::Failed { .. } => None,
+        })
+        .collect();
+    if ok_pof_bins.is_empty() {
+        return Err(CampaignError::NoCoverage { total_bins: total });
+    }
+    let (fit, non_finite_bins) = fit_rate_checked(&ok_pof_bins, array.footprint());
+    let quarantined_samples: u64 = outcomes
+        .iter()
+        .map(|o| match o {
+            BinOutcome::Ok { quarantined, .. } => *quarantined,
+            BinOutcome::Failed { .. } => 0,
+        })
+        .sum();
+    let total_flux: f64 = spectrum_bins
+        .iter()
+        .map(|sb| sb.integral_flux.per_m2_second())
+        .sum();
+    let covered_flux: f64 = ok_pof_bins
+        .iter()
+        .filter(|b| b.pof_total.is_finite() && b.pof_seu.is_finite() && b.pof_mbu.is_finite())
+        .map(|b| b.spectrum.integral_flux.per_m2_second())
+        .sum();
+    let coverage = Coverage {
+        total_bins: total,
+        ok_bins: ok_pof_bins.len(),
+        failed_bins: total - ok_pof_bins.len(),
+        non_finite_bins,
+        quarantined_samples,
+        flux_fraction: if total_flux > 0.0 {
+            covered_flux / total_flux
+        } else {
+            1.0
+        },
+    };
+    Ok(CampaignReport {
+        particle,
+        vdd,
+        fit,
+        outcomes,
+        coverage,
+    })
+}
+
+/// Builds the on-disk snapshot for the outcomes computed so far. Shared
+/// by [`CampaignRunner::save_checkpoint`] and the service's drain flush.
+pub(crate) fn build_checkpoint(
+    config: &CampaignConfig,
+    outcomes: &[Option<BinOutcome>],
+) -> Checkpoint {
+    let bins: Vec<BinRecord> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(k, o)| o.as_ref().map(|o| (k, o)))
+        .map(|(k, o)| match o {
+            BinOutcome::Ok { bin, quarantined } => BinRecord::Ok {
+                index: k,
+                pof_total: bin.pof_total,
+                pof_seu: bin.pof_seu,
+                pof_mbu: bin.pof_mbu,
+                quarantined: *quarantined,
+                energy_joules: bin.spectrum.energy.joules(),
+                flux_per_m2_s: bin.spectrum.integral_flux.per_m2_second(),
+            },
+            BinOutcome::Failed { error } => BinRecord::Failed {
+                index: k,
+                error: error.clone(),
+            },
+        })
+        .collect();
+    Checkpoint {
+        fingerprint: config_fingerprint(&config.pipeline, config.particle, config.vdd),
+        particle: config.particle,
+        vdd_bits: config.vdd.volts().to_bits(),
+        total_bins: outcomes.len(),
+        bins,
+    }
+}
+
+/// Loads a checkpoint, classifying partial writes as the typed
+/// [`CampaignError::CheckpointTruncated`] instead of generic corruption.
+///
+/// Two truncation shapes exist: the file ends before its checksum line
+/// (the parser's [`CheckpointError::Truncated`]), and the file is cut
+/// mid-line — which the grammar can only see as a malformed field. The
+/// latter is disambiguated here without touching the parser: a complete
+/// snapshot (`Checkpoint::to_text`) always ends with a newline, so a
+/// `Corrupt` file whose last byte is not `\n` was interrupted mid-write.
+pub(crate) fn load_checkpoint_classified(path: &Path) -> Result<Checkpoint, CampaignError> {
+    match Checkpoint::load(path) {
+        Err(CheckpointError::Truncated) => Err(CampaignError::CheckpointTruncated {
+            path: path.to_path_buf(),
+            detail: "file ends before its checksum line".into(),
+        }),
+        Err(CheckpointError::Corrupt(msg)) => {
+            let cut_mid_line = std::fs::read(path)
+                .map(|bytes| !bytes.is_empty() && bytes.last() != Some(&b'\n'))
+                .unwrap_or(false);
+            if cut_mid_line {
+                Err(CampaignError::CheckpointTruncated {
+                    path: path.to_path_buf(),
+                    detail: format!("file cut mid-line: {msg}"),
+                })
+            } else {
+                Err(CheckpointError::Corrupt(msg).into())
+            }
+        }
+        other => other.map_err(CampaignError::from),
+    }
+}
+
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -42,6 +42,7 @@ pub mod checkpoint;
 pub mod fit;
 pub mod neutron;
 pub mod pipeline;
+pub mod service;
 pub mod strike;
 pub mod sweep;
 

@@ -18,6 +18,9 @@ pub const SPICE_NEWTON_ITERATIONS: &str = "spice.newton.iterations";
 pub const SPICE_NEWTON_SOLVES: &str = "spice.newton.solves";
 /// Newton solves that failed to converge (before any recovery rung).
 pub const SPICE_NEWTON_FAILURES: &str = "spice.newton.failures";
+/// Newton solves aborted by a cooperative cancellation token (explicit
+/// cancel or expired deadline).
+pub const SPICE_NEWTON_CANCELLED: &str = "spice.newton.cancelled";
 /// Prefix for recovery-ladder rung attempts; the rung's display name and
 /// outcome are appended, e.g. `spice.recovery.rung.gmin-stepping.ok`.
 pub const SPICE_RECOVERY_RUNG_PREFIX: &str = "spice.recovery.rung.";
@@ -53,3 +56,33 @@ pub const CAMPAIGN_BIN_SECONDS: &str = "core.campaign.bin_seconds";
 pub const CAMPAIGN_BINS_OK: &str = "core.campaign.bins_ok";
 /// Campaign energy bins that failed (degraded coverage).
 pub const CAMPAIGN_BINS_FAILED: &str = "core.campaign.bins_failed";
+
+/// Campaign-service jobs accepted by `submit` (cache hits included).
+pub const SERVICE_JOBS_SUBMITTED: &str = "core.service.jobs_submitted";
+/// Campaign-service jobs that completed with a report.
+pub const SERVICE_JOBS_COMPLETED: &str = "core.service.jobs_completed";
+/// Campaign-service jobs that terminated with a typed error.
+pub const SERVICE_JOBS_FAILED: &str = "core.service.jobs_failed";
+/// Submissions answered from the fingerprint-keyed result cache.
+pub const SERVICE_CACHE_HITS: &str = "core.service.cache_hits";
+/// Submissions that missed the result cache and were scheduled.
+pub const SERVICE_CACHE_MISSES: &str = "core.service.cache_misses";
+/// Submissions coalesced onto an identical already-running job.
+pub const SERVICE_JOBS_COALESCED: &str = "core.service.jobs_coalesced";
+/// Bin executions re-queued after a supervised worker panic.
+pub const SERVICE_BIN_RETRIES: &str = "core.service.bin_retries";
+/// Bins quarantined to the dead-letter list after retry exhaustion.
+pub const SERVICE_BINS_QUARANTINED: &str = "core.service.bins_quarantined";
+/// Work items a worker stole from another worker's queue.
+pub const SERVICE_QUEUE_STEALS: &str = "core.service.queue_steals";
+/// Jobs aborted because their wall-clock deadline expired.
+pub const SERVICE_DEADLINE_CANCELLATIONS: &str = "core.service.deadline_cancellations";
+/// Partial checkpoints flushed during a graceful drain/shutdown.
+pub const SERVICE_DRAIN_FLUSHES: &str = "core.service.drain_flushes";
+/// Total queued work items observed at each enqueue (queue-depth gauge,
+/// recorded as a histogram so the trajectory captures min/mean/max depth).
+pub const SERVICE_QUEUE_DEPTH: &str = "core.service.queue_depth";
+/// Wall time from job submission to its terminal state, seconds.
+pub const SERVICE_JOB_SECONDS: &str = "core.service.job_seconds";
+/// Queue throughput of one completed job, energy bins per second.
+pub const SERVICE_BINS_PER_SEC: &str = "core.service.bins_per_sec";

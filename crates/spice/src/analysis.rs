@@ -225,6 +225,21 @@ impl<'c> Assembler<'c> {
         context: &str,
     ) -> Result<(Vec<f64>, Vec<f64>), SpiceError> {
         #[cfg(feature = "fault-injection")]
+        if let Some(stall) = crate::fault::take_stall() {
+            // Model a wedged solve: sleep, then fall through to the
+            // cancellation poll below so deadlines fire deterministically.
+            std::thread::sleep(stall);
+        }
+        // Cooperative cancellation: polled before the (expensive) iteration
+        // starts, after any injected stall so a stalled solve notices its
+        // expired deadline on wake-up.
+        if let Some(reason) = crate::cancel::cancelled_reason() {
+            finrad_observe::counter_add(finrad_observe::keys::SPICE_NEWTON_CANCELLED, 1);
+            return Err(SpiceError::Cancelled {
+                context: format!("{context} ({reason})"),
+            });
+        }
+        #[cfg(feature = "fault-injection")]
         if crate::fault::take_nonconvergence() {
             return Err(SpiceError::NoConvergence {
                 context: format!("{context} [injected fault]"),
@@ -348,6 +363,8 @@ fn advance_step(
         "transient step",
     ) {
         Ok((vn, _branch)) => Ok(vn),
+        // Cancelled steps are never retried at a smaller dt: propagate.
+        Err(e @ SpiceError::Cancelled { .. }) => Err(e),
         Err(e) => {
             let half = dt / 2.0;
             if depth >= opts.max_step_halvings || half < opts.min_dt {
@@ -476,6 +493,9 @@ pub fn dc_operating_point_with_recovery(
                 trace,
             ));
         }
+        // Cancellation is not a convergence problem: no later rung may
+        // retry a solve the supervisor asked us to abandon.
+        Err(e @ SpiceError::Cancelled { .. }) => return Err(e),
         Err(e) => trace.record(RecoveryRung::Direct, false, e.to_string()),
     }
 
@@ -501,6 +521,7 @@ pub fn dc_operating_point_with_recovery(
                 v = vn.clone();
                 result = Some((vn, branch));
             }
+            Err(e @ SpiceError::Cancelled { .. }) => return Err(e),
             Err(e) => {
                 // A failed intermediate stage is tolerable; a failed final
                 // stage fails the rung.
@@ -566,6 +587,7 @@ pub fn dc_operating_point_with_recovery(
                 v = vn.clone();
                 last = Some((vn, branch));
             }
+            Err(e @ SpiceError::Cancelled { .. }) => return Err(e),
             Err(e) => {
                 trace.record(
                     RecoveryRung::SourceStepping,
@@ -779,6 +801,31 @@ mod tests {
         // Source current: 1.2 V over 3 kΩ, flowing out of + terminal =>
         // negative through-source convention current.
         assert!((op.vsource_current(0).abs() - 0.4e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_solve_with_typed_error() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource(vin, Circuit::GROUND, 1.2);
+        ckt.add_resistor(vin, mid, 2.0e3);
+        ckt.add_resistor(mid, Circuit::GROUND, 1.0e3);
+
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let guard = crate::cancel::install_scoped(&token);
+        let err = dc_operating_point(&ckt, &opts()).unwrap_err();
+        match err {
+            SpiceError::Cancelled { context } => {
+                assert!(context.contains("cancelled"), "context: {context}")
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        drop(guard);
+
+        // Detached, the same circuit solves normally again.
+        assert!(dc_operating_point(&ckt, &opts()).is_ok());
     }
 
     #[test]

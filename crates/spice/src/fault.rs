@@ -15,10 +15,15 @@
 //! [`SpiceError::NoConvergence`]: crate::SpiceError::NoConvergence
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 static SKIP: AtomicU64 = AtomicU64::new(0);
 static REMAINING: AtomicU64 = AtomicU64::new(0);
 static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+static STALL_SKIP: AtomicU64 = AtomicU64::new(0);
+static STALL_REMAINING: AtomicU64 = AtomicU64::new(0);
+static STALL_MILLIS: AtomicU64 = AtomicU64::new(0);
 
 /// Arms the injector: the next `skip` Newton solves run normally, then the
 /// following `count` solves fail with an injected
@@ -28,10 +33,26 @@ pub fn arm_nonconvergence(skip: u64, count: u64) {
     REMAINING.store(count, Ordering::SeqCst);
 }
 
-/// Disarms the injector (idempotent).
+/// Arms the artificial solver stall: the next `skip` Newton solves run
+/// normally, then the following `count` solves sleep for `stall` before
+/// iterating. The stall models a wedged/slow solve so cancellation
+/// deadlines ([`crate::cancel`]) can be exercised deterministically — a
+/// stalled solve wakes up, polls its thread's token, and aborts with
+/// [`Cancelled`](crate::SpiceError::Cancelled) once the deadline passed.
+pub fn arm_stall(skip: u64, count: u64, stall: Duration) {
+    STALL_MILLIS.store(stall.as_millis() as u64, Ordering::SeqCst);
+    STALL_SKIP.store(skip, Ordering::SeqCst);
+    STALL_REMAINING.store(count, Ordering::SeqCst);
+}
+
+/// Disarms the injector (idempotent; clears both the non-convergence and
+/// the stall hooks).
 pub fn disarm() {
     SKIP.store(0, Ordering::SeqCst);
     REMAINING.store(0, Ordering::SeqCst);
+    STALL_SKIP.store(0, Ordering::SeqCst);
+    STALL_REMAINING.store(0, Ordering::SeqCst);
+    STALL_MILLIS.store(0, Ordering::SeqCst);
 }
 
 /// Total failures injected since process start (monotonic; survives
@@ -63,4 +84,22 @@ pub(crate) fn take_nonconvergence() -> bool {
     } else {
         false
     }
+}
+
+/// Hook called at the top of every Newton solve; `Some(d)` means this
+/// solve must sleep for `d` before proceeding (the armed stall).
+pub(crate) fn take_stall() -> Option<Duration> {
+    if STALL_REMAINING.load(Ordering::SeqCst) == 0 {
+        return None;
+    }
+    if STALL_SKIP
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| s.checked_sub(1))
+        .is_ok()
+    {
+        return None;
+    }
+    STALL_REMAINING
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
+        .ok()
+        .map(|_| Duration::from_millis(STALL_MILLIS.load(Ordering::SeqCst)))
 }

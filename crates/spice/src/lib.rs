@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cancel;
 mod circuit;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
@@ -45,6 +46,7 @@ pub mod recovery;
 pub mod source;
 pub mod waveform;
 
+pub use cancel::{CancelScope, CancelToken};
 pub use circuit::{Circuit, MosfetId, NodeId};
 pub use recovery::{RecoveryAttempt, RecoveryRung, RecoveryTrace};
 pub use source::{PulseShape, SourceWaveform};
@@ -77,6 +79,13 @@ pub enum SpiceError {
     },
     /// Invalid element value or topology.
     InvalidElement(String),
+    /// The solve was aborted by the thread's [`cancel::CancelToken`]
+    /// (explicit cancellation or an expired wall-clock deadline). Never
+    /// retried by the recovery ladder: the supervisor asked us to stop.
+    Cancelled {
+        /// What was being solved, plus the cancellation reason.
+        context: String,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -109,6 +118,9 @@ impl fmt::Display for SpiceError {
                 write!(f, "singular MNA system during {context}")
             }
             SpiceError::InvalidElement(msg) => write!(f, "invalid element: {msg}"),
+            SpiceError::Cancelled { context } => {
+                write!(f, "solve cancelled during {context}")
+            }
         }
     }
 }

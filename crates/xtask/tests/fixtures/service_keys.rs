@@ -1,0 +1,11 @@
+//! Fixture: metrics-key-registry over the campaign-service namespace — a
+//! registered `core.service.*` key passes; an unregistered one fails so
+//! new service metrics cannot bypass `finrad_observe::keys`.
+
+pub fn registered() {
+    finrad_observe::counter_add("core.service.cache_hits", 1);
+}
+
+pub fn unregistered() {
+    finrad_observe::counter_add("core.service.cache_evictions", 1);
+}

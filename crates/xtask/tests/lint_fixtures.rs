@@ -132,6 +132,19 @@ fn metrics_key_registry_fixture() {
 }
 
 #[test]
+fn service_keys_fixture() {
+    let (v, index) = lint_fixture_indexed("service_keys.rs");
+    // The campaign-service namespace is part of the real registry.
+    assert!(index.metric_keys.contains("core.service.cache_hits"));
+    assert!(index.metric_keys.contains("core.service.bins_quarantined"));
+    // The registered key (line 6) passes; only the unregistered one fires.
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::MetricsKeyRegistry);
+    assert_eq!((v[0].line, v[0].col), (10, 33));
+    assert!(v[0].message.contains("core.service.cache_evictions"));
+}
+
+#[test]
 fn seed_discipline_fixture() {
     let (v, _) = lint_fixture_indexed("seed_discipline.rs");
     assert_eq!(v.len(), 1, "{v:#?}");

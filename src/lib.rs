@@ -57,6 +57,10 @@ pub mod prelude {
     pub use finrad_core::checkpoint::{Checkpoint, CheckpointError};
     pub use finrad_core::fit::{fit_rate, fit_rate_checked, FitRate, PofBin};
     pub use finrad_core::pipeline::{PipelineConfig, SerPipeline, SerReport};
+    pub use finrad_core::service::{
+        backoff_schedule, CampaignService, DeadLetter, JobError, JobId, JobResult, JobStatus,
+        ServiceConfig,
+    };
     pub use finrad_core::strike::{DepositMode, DirectionLaw, FlipModel, StrikeSimulator};
     pub use finrad_core::CoreError;
     pub use finrad_environment::{AlphaSpectrum, NeutronSpectrum, ProtonSpectrum, Spectrum};

@@ -135,6 +135,7 @@ fn kill_and_resume_is_bit_identical_to_uninterrupted_run() {
 
 #[test]
 fn truncated_checkpoint_is_a_typed_error() {
+    // Tail cut into the checksum line: the parser itself sees truncation.
     let ckpt = TempCkpt::new("truncated");
     fabricated_checkpoint().save(&ckpt.0).unwrap();
     let text = fs::read_to_string(&ckpt.0).unwrap();
@@ -143,8 +144,29 @@ fn truncated_checkpoint_is_a_typed_error() {
     let mut cfg = CampaignConfig::new(tiny_pipeline(), Particle::Alpha, vdd());
     cfg.checkpoint_path = Some(ckpt.0.clone());
     match CampaignRunner::new(cfg).resume() {
-        Err(CampaignError::Checkpoint(CheckpointError::Truncated)) => {}
-        other => panic!("expected Truncated, got {other:?}"),
+        Err(CampaignError::CheckpointTruncated { path, .. }) => assert_eq!(path, ckpt.0),
+        other => panic!("expected CheckpointTruncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_cut_mid_line_is_truncation_not_corruption() {
+    // Cut inside the header line: the parser alone can only call this a
+    // bad header (Corrupt), but a complete snapshot always ends with a
+    // newline — the loader must classify the partial write as
+    // truncation, not corruption.
+    let ckpt = TempCkpt::new("midline");
+    fabricated_checkpoint().save(&ckpt.0).unwrap();
+    let text = fs::read_to_string(&ckpt.0).unwrap();
+    fs::write(&ckpt.0, &text[..5]).unwrap();
+
+    let mut cfg = CampaignConfig::new(tiny_pipeline(), Particle::Alpha, vdd());
+    cfg.checkpoint_path = Some(ckpt.0.clone());
+    match CampaignRunner::new(cfg).resume() {
+        Err(CampaignError::CheckpointTruncated { detail, .. }) => {
+            assert!(detail.contains("cut mid-line"), "detail: {detail}")
+        }
+        other => panic!("expected CheckpointTruncated, got {other:?}"),
     }
 }
 
