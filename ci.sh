@@ -40,8 +40,17 @@ cargo xtask lint --deny-all \
 echo "==> cargo xtask lint --check-report (report schema gate)"
 cargo xtask lint --check-report target/lint-report.json
 
-echo "==> cargo xtask bench --smoke (trajectory schema gate)"
+echo "==> cargo xtask bench --smoke (trajectory schema + hot-path counter gate)"
 cargo xtask bench --smoke --out target/BENCH_smoke.json
-cargo xtask bench --check target/BENCH_smoke.json
+cargo xtask bench --check target/BENCH_smoke.json \
+  --require-counter sram.characterize.dcop_cache_hits \
+  --require-counter spice.newton.warm_starts \
+  --require-counter spice.newton.lu_structured
+
+echo "==> committed trajectory files carry the hot-path counters"
+cargo xtask bench --check BENCH_0005.json \
+  --require-counter sram.characterize.dcop_cache_hits \
+  --require-counter spice.newton.warm_starts \
+  --require-counter spice.newton.lu_structured
 
 echo "CI gate passed."

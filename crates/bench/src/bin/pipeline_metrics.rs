@@ -8,11 +8,16 @@
 //!
 //! The run also drives the supervised campaign service with a duplicate
 //! submission, so the snapshot carries the `core.service.*` supervision
-//! counters — cache hit rate and queue/bin throughput in particular.
+//! counters — cache hit rate and queue/bin throughput in particular —
+//! plus a small variation Monte Carlo so the SPICE hot-path counters
+//! (`spice.newton.warm_starts`, `sram.characterize.dcop_cache_hits`)
+//! land in every trajectory file; `ci.sh` gates on their presence.
 
 use finrad_core::campaign::CampaignConfig;
 use finrad_core::pipeline::{PipelineConfig, SerPipeline};
 use finrad_core::service::{CampaignService, ServiceConfig};
+use finrad_finfet::Technology;
+use finrad_sram::{CellCharacterizer, StrikeCombo, StrikeTarget, Variation};
 use finrad_units::{Particle, Voltage};
 
 fn main() {
@@ -52,6 +57,21 @@ fn main() {
         std::process::exit(1);
     }
     service.drain();
+
+    // Variation Monte Carlo: the smoke pipeline is nominal-only, so this
+    // small MC run is what exercises (and records) the warm-started DC
+    // solves and the pre-strike operating-point cache.
+    let smoke = PipelineConfig::smoke_test();
+    let characterizer = CellCharacterizer::new(Technology::soi_finfet_14nm(), smoke.characterize);
+    if let Err(e) = characterizer.characterize_combo(
+        Voltage::from_volts(0.8),
+        StrikeCombo::single(StrikeTarget::I1),
+        Variation::MonteCarlo { samples: 8 },
+        0xF1A7_5EED,
+    ) {
+        eprintln!("error: variation characterization failed: {e}");
+        std::process::exit(1);
+    }
 
     let snapshot = recorder.snapshot();
     println!("# pipeline metrics (smoke-scale alpha run at 0.8 V)");

@@ -66,6 +66,16 @@ pub enum NumericsError {
         /// Upper bracket endpoint.
         hi: f64,
     },
+    /// A root-finding objective returned NaN or ±∞. Before this variant
+    /// existed, a NaN function value silently steered bisection (every
+    /// sign comparison against NaN is false) and the search "converged"
+    /// to garbage; now the poisoned evaluation is reported instead.
+    NonFiniteEvaluation {
+        /// Abscissa at which the objective was evaluated.
+        x: f64,
+        /// The non-finite value it returned (NaN or ±∞).
+        fx: f64,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -80,6 +90,9 @@ impl fmt::Display for NumericsError {
             NumericsError::InvalidTable(msg) => write!(f, "invalid interpolation table: {msg}"),
             NumericsError::RootNotBracketed { lo, hi } => {
                 write!(f, "root not bracketed on [{lo}, {hi}]")
+            }
+            NumericsError::NonFiniteEvaluation { x, fx } => {
+                write!(f, "objective returned non-finite value {fx} at x = {x}")
             }
         }
     }

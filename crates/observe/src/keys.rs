@@ -24,9 +24,27 @@ pub const SPICE_NEWTON_CANCELLED: &str = "spice.newton.cancelled";
 /// Prefix for recovery-ladder rung attempts; the rung's display name and
 /// outcome are appended, e.g. `spice.recovery.rung.gmin-stepping.ok`.
 pub const SPICE_RECOVERY_RUNG_PREFIX: &str = "spice.recovery.rung.";
+/// DC operating-point solves seeded from a previously solved state
+/// (Monte-Carlo warm starts).
+pub const SPICE_NEWTON_WARM_STARTS: &str = "spice.newton.warm_starts";
+/// Newton iterations spent inside warm-started DC solves — compare with
+/// the cold-start iteration cost to read off the warm-start saving.
+pub const SPICE_NEWTON_WARM_ITERATIONS: &str = "spice.newton.warm_start_iterations";
+/// Linear solves served by the structure-exploiting fixed-pattern LU.
+pub const SPICE_LU_STRUCTURED: &str = "spice.newton.lu_structured";
+/// Linear solves that fell back to dense partial-pivot LU because the
+/// frozen pivot order failed the stability guard.
+pub const SPICE_LU_DENSE_FALLBACKS: &str = "spice.newton.lu_dense_fallbacks";
 
 /// Critical-charge bisection/bracketing transient evaluations.
 pub const SRAM_BISECTION_STEPS: &str = "sram.characterize.bisection_steps";
+/// Pre-strike DC operating points answered from the per-(vdd, deltas)
+/// cache instead of a fresh recovery-ladder solve.
+pub const SRAM_DCOP_CACHE_HITS: &str = "sram.characterize.dcop_cache_hits";
+/// Pre-strike DC operating points that missed the cache and were solved.
+pub const SRAM_DCOP_CACHE_MISSES: &str = "sram.characterize.dcop_cache_misses";
+/// Transient settle phases cut short by the stationarity early exit.
+pub const SRAM_SETTLE_EARLY_EXITS: &str = "sram.characterize.settle_early_exits";
 /// Strike combos characterized.
 pub const SRAM_COMBOS: &str = "sram.characterize.combos";
 /// Wall time per characterized combo, seconds.

@@ -11,7 +11,8 @@ use crate::circuit::Circuit;
 use crate::recovery::{RecoveryRung, RecoveryTrace};
 use crate::waveform::{Probe, TransientResult};
 use crate::{NodeId, SpiceError};
-use finrad_numerics::matrix::{LuFactors, Matrix};
+use finrad_numerics::matrix::{LuFactors, Matrix, StructuredLu};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Newton-iteration tuning knobs.
@@ -85,18 +86,52 @@ impl OpPoint {
     }
 }
 
+/// Per-analysis scratch state reused across Newton iterations and
+/// transient steps: the assembled system buffers and the
+/// structure-exploiting LU specialized to this circuit's fixed MNA
+/// pattern. Lives behind a `RefCell` because assembly/solve is interior
+/// bookkeeping of a logically-immutable solver.
+struct SolverScratch {
+    /// Jacobian buffer, re-stamped in place every iteration.
+    j: Matrix,
+    /// Right-hand-side buffer.
+    b: Vec<f64>,
+    /// Next-iterate buffer (full node vector including ground).
+    v_next: Vec<f64>,
+    /// Fixed-pattern LU; `None` until the first solve picks a pivot order.
+    structured: Option<StructuredLu>,
+    /// Linear solves served by the structured path since the last flush.
+    structured_solves: u64,
+    /// Dense partial-pivot fallbacks since the last flush (pivot-guard
+    /// trips and first-time analyses).
+    dense_fallbacks: u64,
+}
+
 /// Assembles and solves one Newton iteration's linearized MNA system.
 struct Assembler<'c> {
     ckt: &'c Circuit,
     n_nodes: usize,
     dim: usize,
+    scratch: RefCell<SolverScratch>,
 }
 
 impl<'c> Assembler<'c> {
     fn new(ckt: &'c Circuit) -> Self {
         let n_nodes = ckt.node_count();
         let dim = (n_nodes - 1) + ckt.vsource_count();
-        Self { ckt, n_nodes, dim }
+        Self {
+            ckt,
+            n_nodes,
+            dim,
+            scratch: RefCell::new(SolverScratch {
+                j: Matrix::zeros(dim, dim),
+                b: vec![0.0; dim],
+                v_next: vec![0.0; n_nodes],
+                structured: None,
+                structured_solves: 0,
+                dense_fallbacks: 0,
+            }),
+        }
     }
 
     /// Row/column of a node in the reduced system, or `None` for ground.
@@ -108,12 +143,71 @@ impl<'c> Assembler<'c> {
         (self.n_nodes - 1) + k
     }
 
-    /// Builds the linearized system at candidate node voltages `v`
-    /// (length = node_count, entry 0 = ground = 0).
+    /// Structural stamp mask of this circuit's MNA system: entry `(r, c)`
+    /// is 1.0 iff *any* element ever stamps that position, mirroring
+    /// [`Assembler::assemble_into`] with capacitors unconditionally
+    /// included (DC patterns are a subset of the transient pattern).
     ///
-    /// `cap_state`: `Some((dt, v_prev))` enables backward-Euler companion
-    /// models for capacitors; `None` leaves capacitors open (DC).
-    /// `time`: evaluation time for source waveforms.
+    /// This is deliberately derived from which positions are stamped, not
+    /// from a numeric instance: a conductance that happens to evaluate to
+    /// `0.0` in one assembly may be nonzero in the next, and a pattern
+    /// built from values would silently drop it from the factorization.
+    fn stamp_mask(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.dim, self.dim);
+        for n in 0..(self.n_nodes - 1) {
+            m.add_at(n, n, 1.0);
+        }
+        for r in &self.ckt.resistors {
+            stamp_mask_conductance(&mut m, self.idx(r.a), self.idx(r.b));
+        }
+        for c in &self.ckt.capacitors {
+            stamp_mask_conductance(&mut m, self.idx(c.a), self.idx(c.b));
+        }
+        for (k, vs) in self.ckt.vsources.iter().enumerate() {
+            let br = self.branch_idx(k);
+            // The branch row/column needs a structural diagonal only via
+            // its couplings; mark them and the (always-needed) couplings.
+            if let Some(p) = self.idx(vs.pos) {
+                m[(p, br)] = 1.0;
+                m[(br, p)] = 1.0;
+            }
+            if let Some(n) = self.idx(vs.neg) {
+                m[(n, br)] = 1.0;
+                m[(br, n)] = 1.0;
+            }
+        }
+        for mos in &self.ckt.mosfets {
+            let (ig, id_, is_) = (
+                self.idx(mos.gate),
+                self.idx(mos.drain),
+                self.idx(mos.source),
+            );
+            if let Some(d) = id_ {
+                if let Some(g) = ig {
+                    m[(d, g)] = 1.0;
+                }
+                m[(d, d)] = 1.0;
+                if let Some(s) = is_ {
+                    m[(d, s)] = 1.0;
+                }
+            }
+            if let Some(s_row) = is_ {
+                if let Some(g) = ig {
+                    m[(s_row, g)] = 1.0;
+                }
+                if let Some(d) = id_ {
+                    m[(s_row, d)] = 1.0;
+                }
+                m[(s_row, s_row)] = 1.0;
+            }
+        }
+        m
+    }
+
+    /// Builds the linearized system at candidate node voltages `v`
+    /// (length = node_count, entry 0 = ground = 0), allocating fresh
+    /// buffers (cold paths only — the Newton loop uses
+    /// [`Assembler::assemble_into`]).
     fn assemble(
         &self,
         v: &[f64],
@@ -123,6 +217,27 @@ impl<'c> Assembler<'c> {
     ) -> (Matrix, Vec<f64>) {
         let mut j = Matrix::zeros(self.dim, self.dim);
         let mut b = vec![0.0; self.dim];
+        self.assemble_into(&mut j, &mut b, v, cap_state, time, gmin);
+        (j, b)
+    }
+
+    /// Like [`Assembler::assemble`], but stamping into caller-owned
+    /// buffers so the Newton loop allocates nothing per iteration.
+    ///
+    /// `cap_state`: `Some((dt, v_prev))` enables backward-Euler companion
+    /// models for capacitors; `None` leaves capacitors open (DC).
+    /// `time`: evaluation time for source waveforms.
+    fn assemble_into(
+        &self,
+        j: &mut Matrix,
+        b: &mut [f64],
+        v: &[f64],
+        cap_state: Option<(f64, &[f64])>,
+        time: f64,
+        gmin: f64,
+    ) {
+        j.fill_zero();
+        b.fill(0.0);
 
         // gmin to ground on every non-ground node.
         for n in 0..(self.n_nodes - 1) {
@@ -132,7 +247,7 @@ impl<'c> Assembler<'c> {
         // Resistors.
         for r in &self.ckt.resistors {
             let (ia, ib) = (self.idx(r.a), self.idx(r.b));
-            stamp_conductance(&mut j, ia, ib, r.conductance);
+            stamp_conductance(j, ia, ib, r.conductance);
         }
 
         // Capacitors (transient only).
@@ -140,7 +255,7 @@ impl<'c> Assembler<'c> {
             for c in &self.ckt.capacitors {
                 let geq = c.farads / dt;
                 let (ia, ib) = (self.idx(c.a), self.idx(c.b));
-                stamp_conductance(&mut j, ia, ib, geq);
+                stamp_conductance(j, ia, ib, geq);
                 // Companion current source: geq * (v_a_prev - v_b_prev)
                 // flowing the same way as the conductance.
                 let ieq = geq * (v_prev[c.a.index()] - v_prev[c.b.index()]);
@@ -209,12 +324,12 @@ impl<'c> Assembler<'c> {
                 b[s_row] += i_rhs;
             }
         }
-
-        (j, b)
     }
 
     /// Runs damped Newton from `v_guess`, returning node voltages (full,
-    /// including ground) and voltage-source branch currents.
+    /// including ground), voltage-source branch currents, and the number
+    /// of Newton iterations spent — the quantity warm-start callers use
+    /// to measure their saving.
     fn newton(
         &self,
         v_guess: &[f64],
@@ -223,7 +338,37 @@ impl<'c> Assembler<'c> {
         opts: &NewtonOptions,
         gmin: f64,
         context: &str,
-    ) -> Result<(Vec<f64>, Vec<f64>), SpiceError> {
+    ) -> Result<(Vec<f64>, Vec<f64>, usize), SpiceError> {
+        let result = self.newton_inner(v_guess, cap_state, time, opts, gmin, context);
+        // Flush the batched linear-solve counters exactly once per solve,
+        // success or failure.
+        let scratch = &mut *self.scratch.borrow_mut();
+        if scratch.structured_solves > 0 {
+            finrad_observe::counter_add(
+                finrad_observe::keys::SPICE_LU_STRUCTURED,
+                scratch.structured_solves,
+            );
+            scratch.structured_solves = 0;
+        }
+        if scratch.dense_fallbacks > 0 {
+            finrad_observe::counter_add(
+                finrad_observe::keys::SPICE_LU_DENSE_FALLBACKS,
+                scratch.dense_fallbacks,
+            );
+            scratch.dense_fallbacks = 0;
+        }
+        result
+    }
+
+    fn newton_inner(
+        &self,
+        v_guess: &[f64],
+        cap_state: Option<(f64, &[f64])>,
+        time: f64,
+        opts: &NewtonOptions,
+        gmin: f64,
+        context: &str,
+    ) -> Result<(Vec<f64>, Vec<f64>, usize), SpiceError> {
         #[cfg(feature = "fault-injection")]
         if let Some(stall) = crate::fault::take_stall() {
             // Model a wedged solve: sleep, then fall through to the
@@ -254,15 +399,46 @@ impl<'c> Assembler<'c> {
         let mut branch = vec![0.0; self.ckt.vsource_count()];
         let mut last_delta = f64::INFINITY;
         finrad_observe::counter_add(finrad_observe::keys::SPICE_NEWTON_SOLVES, 1);
+        let scratch = &mut *self.scratch.borrow_mut();
 
         for iter in 0..opts.max_iter {
-            let (j, b) = self.assemble(&v, cap_state, time, gmin);
-            let lu = LuFactors::factor(j).map_err(|_| SpiceError::Singular {
-                context: context.to_owned(),
-            })?;
-            let x = lu.solve(&b).map_err(|_| SpiceError::Singular {
-                context: context.to_owned(),
-            })?;
+            self.assemble_into(&mut scratch.j, &mut scratch.b, &v, cap_state, time, gmin);
+
+            // Linear solve: the structure-exploiting fixed-pattern LU when
+            // its frozen pivot order is stable for this Jacobian, dense
+            // partial pivoting otherwise (also the first iteration, which
+            // picks the pivot order the structured path then freezes).
+            let structured_x = match scratch.structured.as_mut() {
+                Some(slu) => match slu.factor(&scratch.j) {
+                    Ok(()) => Some(slu.solve(&scratch.b).map_err(|_| SpiceError::Singular {
+                        context: context.to_owned(),
+                    })?),
+                    Err(_) => None,
+                },
+                None => None,
+            };
+            let x = match structured_x {
+                Some(x) => {
+                    scratch.structured_solves += 1;
+                    x
+                }
+                None => {
+                    scratch.dense_fallbacks += 1;
+                    let lu =
+                        LuFactors::factor(scratch.j.clone()).map_err(|_| SpiceError::Singular {
+                            context: context.to_owned(),
+                        })?;
+                    let x = lu.solve(&scratch.b).map_err(|_| SpiceError::Singular {
+                        context: context.to_owned(),
+                    })?;
+                    // (Re-)analyze the fixed pattern under the pivot order
+                    // dense pivoting just proved stable, so subsequent
+                    // iterations take the structured path.
+                    let mask = self.stamp_mask();
+                    scratch.structured = StructuredLu::analyze(&mask, lu.perm().to_vec()).ok();
+                    x
+                }
+            };
 
             // Extract, damp and clamp the update. Convergence is judged on
             // the *applied* change: a node parked at the voltage clamp (the
@@ -270,26 +446,30 @@ impl<'c> Assembler<'c> {
             // is stationary and must count as converged even though the
             // unclamped Newton target lies beyond the rail.
             let mut max_applied = 0.0f64;
-            let mut v_new = vec![0.0; self.n_nodes];
+            scratch.v_next[0] = 0.0;
             for n in 1..self.n_nodes {
                 let target = x[n - 1];
                 let delta = target - v[n];
                 let damped = delta.clamp(-opts.max_step, opts.max_step);
                 let clamped = (v[n] + damped).clamp(opts.v_clamp.0, opts.v_clamp.1);
                 max_applied = max_applied.max((clamped - v[n]).abs());
-                v_new[n] = clamped;
+                scratch.v_next[n] = clamped;
             }
             for k in 0..branch.len() {
                 branch[k] = x[self.branch_idx(k)];
             }
-            v = v_new;
+            std::mem::swap(&mut v, &mut scratch.v_next);
             last_delta = max_applied;
-            if max_applied < opts.vtol && iter > 0 {
+            // The first iterate whose applied update is below tolerance is
+            // accepted — including iteration 0, so a warm start from an
+            // already-solved state costs exactly one solve instead of the
+            // two the old `iter > 0` guard forced on every step.
+            if max_applied < opts.vtol {
                 finrad_observe::counter_add(
                     finrad_observe::keys::SPICE_NEWTON_ITERATIONS,
                     iter as u64 + 1,
                 );
-                return Ok((v, branch));
+                return Ok((v, branch, iter + 1));
             }
         }
         finrad_observe::counter_add(
@@ -362,7 +542,7 @@ fn advance_step(
         opts.gmin,
         "transient step",
     ) {
-        Ok((vn, _branch)) => Ok(vn),
+        Ok((vn, _branch, _iters)) => Ok(vn),
         // Cancelled steps are never retried at a smaller dt: propagate.
         Err(e @ SpiceError::Cancelled { .. }) => Err(e),
         Err(e) => {
@@ -412,6 +592,18 @@ fn advance_step(
     }
 }
 
+/// Marks the positions [`stamp_conductance`] would touch in a structural
+/// mask (value 1.0 = structurally nonzero).
+fn stamp_mask_conductance(m: &mut Matrix, ia: Option<usize>, ib: Option<usize>) {
+    stamp_conductance(m, ia, ib, 1.0);
+    // `stamp_conductance` writes -g off-diagonal; overwrite with the flag
+    // value so the mask is uniformly 0/positive.
+    if let (Some(a), Some(b)) = (ia, ib) {
+        m[(a, b)] = 1.0;
+        m[(b, a)] = 1.0;
+    }
+}
+
 fn stamp_conductance(j: &mut Matrix, ia: Option<usize>, ib: Option<usize>, g: f64) {
     if let Some(a) = ia {
         j.add_at(a, a, g);
@@ -455,6 +647,67 @@ pub fn dc_operating_point_from(
     dc_operating_point_with_recovery(ckt, opts, guess).map(|(op, _trace)| op)
 }
 
+/// Warm-started DC operating point: seeds Newton with `state`, a full
+/// node-voltage vector (indexed by node id, entry 0 = ground) from an
+/// already-solved near-identical circuit — e.g. the nominal-variation
+/// operating point when solving a Monte-Carlo ΔVth sample.
+///
+/// Records `spice.newton.warm_starts` and the iterations the warm solve
+/// actually spent under `spice.newton.warm_start_iterations`, so the
+/// saving against cold starts is directly observable. If the warm solve
+/// fails to converge, falls back to the full cold-start recovery ladder
+/// seeded from the same state.
+///
+/// # Errors
+///
+/// Same as [`dc_operating_point`], after the fallback ladder is exhausted.
+///
+/// # Panics
+///
+/// Panics if `state` is shorter than the circuit's node count.
+pub fn dc_operating_point_warm(
+    ckt: &Circuit,
+    opts: &NewtonOptions,
+    state: &[f64],
+) -> Result<OpPoint, SpiceError> {
+    ckt.validate()?;
+    assert!(
+        state.len() >= ckt.node_count(),
+        "warm-start state has {} entries for {} nodes",
+        state.len(),
+        ckt.node_count()
+    );
+    let asm = Assembler::new(ckt);
+    match asm.newton(
+        &state[..ckt.node_count()],
+        None,
+        0.0,
+        opts,
+        opts.gmin,
+        "dc operating point (warm)",
+    ) {
+        Ok((vn, branch, iters)) => {
+            finrad_observe::counter_add(finrad_observe::keys::SPICE_NEWTON_WARM_STARTS, 1);
+            finrad_observe::counter_add(
+                finrad_observe::keys::SPICE_NEWTON_WARM_ITERATIONS,
+                iters as u64,
+            );
+            Ok(OpPoint {
+                node_voltages: vn,
+                vsource_currents: branch,
+            })
+        }
+        Err(e @ SpiceError::Cancelled { .. }) => Err(e),
+        Err(_) => {
+            // Cold fallback: the state still selects the bistable basin.
+            let guess: HashMap<NodeId, f64> = (0..ckt.node_count())
+                .map(|i| (NodeId(i), state[i]))
+                .collect();
+            dc_operating_point_from(ckt, opts, &guess)
+        }
+    }
+}
+
 /// Like [`dc_operating_point_from`] but additionally returning the
 /// [`RecoveryTrace`] of the convergence-recovery ladder: direct solve →
 /// g-min stepping → source stepping (see [`crate::recovery`]). The trace
@@ -483,7 +736,7 @@ pub fn dc_operating_point_with_recovery(
     // below are fallbacks for cold starts, where the strong initial leak
     // or the supply ramp would wash the guess out.
     match asm.newton(&v0, None, 0.0, opts, opts.gmin, "dc operating point") {
-        Ok((vn, branch)) => {
+        Ok((vn, branch, _iters)) => {
             trace.record(RecoveryRung::Direct, true, "converged from initial guess");
             return Ok((
                 OpPoint {
@@ -517,7 +770,7 @@ pub fn dc_operating_point_with_recovery(
             gmin,
             "dc operating point (gmin stepping)",
         ) {
-            Ok((vn, branch)) => {
+            Ok((vn, branch, _iters)) => {
                 v = vn.clone();
                 result = Some((vn, branch));
             }
@@ -583,7 +836,7 @@ pub fn dc_operating_point_with_recovery(
             opts.gmin,
             "dc operating point (source stepping)",
         ) {
-            Ok((vn, branch)) => {
+            Ok((vn, branch, _iters)) => {
                 v = vn.clone();
                 last = Some((vn, branch));
             }
@@ -743,14 +996,111 @@ pub fn transient_with_trace(
     probes: &[NodeId],
     opts: &NewtonOptions,
 ) -> Result<(TransientResult, RecoveryTrace), SpiceError> {
-    ckt.validate()?;
-    let asm = Assembler::new(ckt);
-    let mut trace = RecoveryTrace::new();
-
     let mut v = vec![0.0; ckt.node_count()];
     for (&node, &val) in initial_conditions {
         v[node.index()] = val;
     }
+    run_transient(ckt, plan, v, probes, opts, None).map(|(res, trace, _stopped)| (res, trace))
+}
+
+/// Like [`transient`] but starting from a full node-voltage vector
+/// (indexed by node id, entry 0 = ground) — typically a solved
+/// [`OpPoint::node_voltages`], so the run begins from the true pre-strike
+/// operating point instead of idealized rail voltages.
+///
+/// # Errors
+///
+/// Same as [`transient`].
+///
+/// # Panics
+///
+/// Panics if `state` is shorter than the circuit's node count.
+pub fn transient_from_state(
+    ckt: &Circuit,
+    plan: &TimeStepPlan,
+    state: &[f64],
+    probes: &[NodeId],
+    opts: &NewtonOptions,
+) -> Result<TransientResult, SpiceError> {
+    assert!(
+        state.len() >= ckt.node_count(),
+        "initial state has {} entries for {} nodes",
+        state.len(),
+        ckt.node_count()
+    );
+    run_transient(
+        ckt,
+        plan,
+        state[..ckt.node_count()].to_vec(),
+        probes,
+        opts,
+        None,
+    )
+    .map(|(res, _trace, _stopped)| res)
+}
+
+/// Like [`transient_from_state`], but consulting `stop` after every
+/// accepted step: when it returns `true` the remaining plan is skipped and
+/// the result ends at that sample. Returns the result and whether the run
+/// was cut short.
+///
+/// The predicate sees the timestamp and the full node-voltage vector of
+/// the accepted step. It is the hook for settle-phase early exits in
+/// critical-charge searches: once the cell state is provably stationary,
+/// simulating the rest of the tail adds nothing but wall time.
+///
+/// # Errors
+///
+/// Same as [`transient`].
+///
+/// # Panics
+///
+/// Panics if `state` is shorter than the circuit's node count.
+pub fn transient_until(
+    ckt: &Circuit,
+    plan: &TimeStepPlan,
+    state: &[f64],
+    probes: &[NodeId],
+    opts: &NewtonOptions,
+    mut stop: impl FnMut(f64, &[f64]) -> bool,
+) -> Result<(TransientResult, bool), SpiceError> {
+    assert!(
+        state.len() >= ckt.node_count(),
+        "initial state has {} entries for {} nodes",
+        state.len(),
+        ckt.node_count()
+    );
+    run_transient(
+        ckt,
+        plan,
+        state[..ckt.node_count()].to_vec(),
+        probes,
+        opts,
+        Some(&mut stop),
+    )
+    .map(|(res, _trace, stopped)| (res, stopped))
+}
+
+/// Shared transient driver.
+///
+/// Timestamps are derived, not accumulated: step `i` of a phase runs from
+/// `phase_start + i·dt`, and a phase whose duration is not an integer
+/// multiple of `dt` gets an explicit remainder step, so the simulated
+/// horizon equals the plan's horizon exactly and timestamps carry no
+/// accumulated floating-point drift. (The retired implementation rounded
+/// `duration/dt` to a step count and summed `t += dt`, silently stretching
+/// or truncating non-conforming phases.)
+fn run_transient(
+    ckt: &Circuit,
+    plan: &TimeStepPlan,
+    mut v: Vec<f64>,
+    probes: &[NodeId],
+    opts: &NewtonOptions,
+    mut stop: Option<&mut dyn FnMut(f64, &[f64]) -> bool>,
+) -> Result<(TransientResult, RecoveryTrace, bool), SpiceError> {
+    ckt.validate()?;
+    let asm = Assembler::new(ckt);
+    let mut trace = RecoveryTrace::new();
 
     let mut result = TransientResult::new(
         probes
@@ -763,17 +1113,46 @@ pub fn transient_with_trace(
     );
     result.push_sample(0.0, probes.iter().map(|&n| v[n.index()]));
 
-    let mut t = 0.0f64;
-    for phase in plan.phases() {
-        let steps = (phase.duration / phase.dt).round().max(1.0) as usize;
-        for _ in 0..steps {
-            v = advance_step(&asm, v, t, phase.dt, opts, 0, &mut trace)?;
-            t += phase.dt;
-            result.push_sample(t, probes.iter().map(|&n| v[n.index()]));
+    let mut stopped = false;
+    let mut phase_start = 0.0f64;
+    'phases: for phase in plan.phases() {
+        let n_full = (phase.duration / phase.dt).floor() as usize;
+        let remainder = phase.duration - n_full as f64 * phase.dt;
+        // Sub-ppb leftovers are quantization noise of `duration/dt`, not a
+        // real remainder step.
+        let has_remainder = remainder > phase.dt * 1.0e-9;
+        for i in 0..n_full {
+            let t0 = phase_start + i as f64 * phase.dt;
+            v = advance_step(&asm, v, t0, phase.dt, opts, 0, &mut trace)?;
+            let t1 = if i + 1 == n_full && !has_remainder {
+                phase_start + phase.duration
+            } else {
+                phase_start + (i + 1) as f64 * phase.dt
+            };
+            result.push_sample(t1, probes.iter().map(|&n| v[n.index()]));
+            if let Some(stop) = stop.as_deref_mut() {
+                if stop(t1, &v) {
+                    stopped = true;
+                    break 'phases;
+                }
+            }
         }
+        if has_remainder {
+            let t0 = phase_start + n_full as f64 * phase.dt;
+            v = advance_step(&asm, v, t0, remainder, opts, 0, &mut trace)?;
+            let t1 = phase_start + phase.duration;
+            result.push_sample(t1, probes.iter().map(|&n| v[n.index()]));
+            if let Some(stop) = stop.as_deref_mut() {
+                if stop(t1, &v) {
+                    stopped = true;
+                    break 'phases;
+                }
+            }
+        }
+        phase_start += phase.duration;
     }
     result.set_final_voltages(v);
-    Ok((result, trace))
+    Ok((result, trace, stopped))
 }
 
 #[cfg(test)]
@@ -1095,5 +1474,118 @@ mod tests {
             duration: 1.0,
             dt: 0.0,
         }]);
+    }
+
+    #[test]
+    fn non_integer_phase_simulates_exact_horizon() {
+        // Regression: duration = 1.05e-9 with dt = 1e-10 used to round to
+        // 10 steps (1.0e-9 simulated — wrong horizon) or 11 (1.1e-9).
+        // Now: 10 full steps + one explicit 0.05e-9 remainder step, and
+        // the last timestamp equals the plan horizon exactly.
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add_resistor(n, Circuit::GROUND, 1.0e3);
+        ckt.add_capacitor(n, Circuit::GROUND, 1.0e-12);
+        let plan = TimeStepPlan::new(vec![Phase {
+            duration: 1.05e-9,
+            dt: 1.0e-10,
+        }]);
+        let mut ic = HashMap::new();
+        ic.insert(n, 1.0);
+        let res = transient(&ckt, &plan, &ic, &[n], &opts()).unwrap();
+        let (t_end, v_end) = res.last_sample(0).unwrap();
+        assert_eq!(t_end, 1.05e-9, "horizon must be honored exactly");
+        // RC decay over the full horizon (tau = 1 ns), backward Euler is
+        // first-order so allow a generous band.
+        let expect = (-1.05e-9f64 / 1.0e-9).exp();
+        assert!((v_end - expect).abs() < 0.05, "v_end {v_end} vs {expect}");
+        // 1 initial sample + 10 full + 1 remainder.
+        assert_eq!(res.times().len(), 12);
+    }
+
+    #[test]
+    fn timestamps_derived_not_accumulated() {
+        // With dt = 0.1 ns (not exactly representable), summed timestamps
+        // drift; derived ones hit i*dt to the last ulp.
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add_resistor(n, Circuit::GROUND, 1.0e3);
+        ckt.add_capacitor(n, Circuit::GROUND, 1.0e-12);
+        let dt = 1.0e-10;
+        let plan = TimeStepPlan::new(vec![Phase {
+            duration: 100.0 * dt,
+            dt,
+        }]);
+        let res = transient(&ckt, &plan, &HashMap::new(), &[n], &opts()).unwrap();
+        let times = res.times();
+        assert_eq!(times.len(), 101);
+        for (i, &t) in times.iter().enumerate().take(100) {
+            assert_eq!(t, i as f64 * dt, "sample {i} drifted: {t}");
+        }
+        assert_eq!(*times.last().unwrap(), 100.0 * dt);
+    }
+
+    #[test]
+    fn transient_from_state_matches_ic_map() {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add_resistor(n, Circuit::GROUND, 1.0e3);
+        ckt.add_capacitor(n, Circuit::GROUND, 1.0e-12);
+        let plan = TimeStepPlan::new(vec![Phase {
+            duration: 1.0e-9,
+            dt: 1.0e-11,
+        }]);
+        let mut ic = HashMap::new();
+        ic.insert(n, 0.7);
+        let via_map = transient(&ckt, &plan, &ic, &[n], &opts()).unwrap();
+        let state = vec![0.0, 0.7];
+        let via_state = transient_from_state(&ckt, &plan, &state, &[n], &opts()).unwrap();
+        let (ta, va) = via_map.last_sample(0).unwrap();
+        let (tb, vb) = via_state.last_sample(0).unwrap();
+        assert_eq!(ta, tb);
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "identical runs must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn transient_until_stops_early() {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        ckt.add_resistor(n, Circuit::GROUND, 1.0e3);
+        ckt.add_capacitor(n, Circuit::GROUND, 1.0e-12);
+        let plan = TimeStepPlan::new(vec![Phase {
+            duration: 5.0e-9,
+            dt: 1.0e-11,
+        }]);
+        let state = vec![0.0, 1.0];
+        let idx = n.index();
+        let (res, stopped) =
+            transient_until(&ckt, &plan, &state, &[n], &opts(), |_t, v| v[idx] < 0.5).unwrap();
+        assert!(stopped, "decay through 0.5 V must trigger the stop");
+        let (t_end, v_end) = res.last_sample(0).unwrap();
+        assert!(t_end < 2.0e-9, "stopped at {t_end}, expected before 2 ns");
+        assert!(v_end < 0.5 && v_end > 0.4, "v_end {v_end}");
+    }
+
+    #[test]
+    fn warm_started_op_matches_cold() {
+        let tech = Technology::soi_finfet_14nm();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let y = ckt.node("y");
+        ckt.add_vsource(vdd, Circuit::GROUND, 0.8);
+        ckt.add_vsource(a, Circuit::GROUND, 0.3);
+        ckt.add_mosfet(y, a, Circuit::GROUND, FinFet::new(&tech, Polarity::Nmos, 1));
+        ckt.add_mosfet(y, a, vdd, FinFet::new(&tech, Polarity::Pmos, 1));
+
+        let cold = dc_operating_point(&ckt, &opts()).unwrap();
+        let warm = dc_operating_point_warm(&ckt, &opts(), cold.node_voltages()).unwrap();
+        for (c, w) in cold.node_voltages().iter().zip(warm.node_voltages()) {
+            assert!((c - w).abs() < 1e-6, "cold {c} vs warm {w}");
+        }
     }
 }

@@ -1,0 +1,53 @@
+//! Integration test for the solver's hot-path metrics: the structured-LU
+//! counters and the warm-start counters. Lives in its own binary because a
+//! process can install exactly one recorder, and counter assertions need
+//! a process where nothing else solves circuits concurrently.
+
+use finrad_finfet::{FinFet, Polarity, Technology};
+use finrad_observe::keys;
+use finrad_spice::analysis::{dc_operating_point, dc_operating_point_warm, NewtonOptions};
+use finrad_spice::Circuit;
+
+#[test]
+fn structured_lu_and_warm_start_counters() {
+    let recorder = finrad_observe::install_in_memory().expect("first install");
+    let opts = NewtonOptions::default();
+    let tech = Technology::soi_finfet_14nm();
+
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let a = ckt.node("a");
+    let y = ckt.node("y");
+    ckt.add_vsource(vdd, Circuit::GROUND, 0.8);
+    ckt.add_vsource(a, Circuit::GROUND, 0.4);
+    ckt.add_mosfet(y, a, Circuit::GROUND, FinFet::new(&tech, Polarity::Nmos, 1));
+    ckt.add_mosfet(y, a, vdd, FinFet::new(&tech, Polarity::Pmos, 1));
+
+    // Cold solve: first linear solve falls back to dense pivoting (which
+    // picks the pivot order), every later iteration takes the structured
+    // path.
+    let cold = dc_operating_point(&ckt, &opts).expect("cold op");
+    let snap = recorder.snapshot();
+    let structured = snap.counter(keys::SPICE_LU_STRUCTURED);
+    let dense = snap.counter(keys::SPICE_LU_DENSE_FALLBACKS);
+    let iters = snap.counter(keys::SPICE_NEWTON_ITERATIONS);
+    assert!(structured > 0, "structured path unused (dense {dense})");
+    assert_eq!(
+        structured + dense,
+        iters,
+        "every Newton iteration is exactly one linear solve"
+    );
+
+    // Warm solve from the already-solved state: one Newton iteration.
+    let warm = dc_operating_point_warm(&ckt, &opts, cold.node_voltages()).expect("warm op");
+    for (c, w) in cold.node_voltages().iter().zip(warm.node_voltages()) {
+        assert!((c - w).abs() < 1e-6, "cold {c} vs warm {w}");
+    }
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter(keys::SPICE_NEWTON_WARM_STARTS), 1);
+    assert_eq!(
+        snap.counter(keys::SPICE_NEWTON_WARM_ITERATIONS),
+        1,
+        "restarting from the solved state must converge on the first iterate"
+    );
+}

@@ -13,10 +13,13 @@ use crate::pof::{PofCurve, PofTable, StrikeCombo};
 use crate::scenario::StrikeEvent;
 use finrad_finfet::{Technology, VariationModel};
 use finrad_numerics::rng::{Rng, Xoshiro256pp};
+use finrad_numerics::roots::{itp_from, Endpoint};
+use finrad_numerics::NumericsError;
 use finrad_spice::analysis::{self, NewtonOptions, TimeStepPlan};
 use finrad_spice::{PulseShape, SpiceError};
 use finrad_units::{Charge, Voltage};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Whether (and how) process variation enters the characterization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,12 +95,50 @@ impl Default for CharacterizeOptions {
 pub struct CellCharacterizer {
     tech: Technology,
     options: CharacterizeOptions,
+    /// Pre-strike DC operating points keyed by `(vdd, deltas)`: the
+    /// ~20–30 bracketing/refinement probes of one critical-charge search
+    /// all share one identical pre-strike state, so it is solved once and
+    /// reused. Clones share the cache (`Arc`), so a characterizer handed
+    /// to worker threads keeps one map.
+    op_cache: Arc<Mutex<HashMap<OpKey, Arc<Vec<f64>>>>>,
+}
+
+/// Cache key for a pre-strike operating point: the supply voltage and the
+/// six per-transistor ΔVth values (in fixed role order), all as exact
+/// f64 bits — two keys are equal iff the circuits are bit-identical.
+type OpKey = [u64; 7];
+
+fn op_key(vdd: Voltage, deltas: &HashMap<TransistorRole, Voltage>) -> OpKey {
+    let mut key = [0u64; 7];
+    key[0] = vdd.volts().to_bits();
+    for (slot, role) in TransistorRole::ALL.into_iter().enumerate() {
+        let dv = deltas.get(&role).map(|v| v.volts()).unwrap_or(0.0);
+        key[slot + 1] = dv.to_bits();
+    }
+    key
+}
+
+/// Maps a root-search failure with no underlying SPICE error (a non-finite
+/// margin, a lost bracket, an iteration blow-up) onto the SPICE error type
+/// the characterization API reports.
+fn numerics_failure(e: &NumericsError) -> SpiceError {
+    SpiceError::NoConvergence {
+        context: format!("critical-charge search: {e}"),
+        iterations: 0,
+        last_delta: f64::INFINITY,
+        worst_residual: f64::INFINITY,
+        rungs: Vec::new(),
+    }
 }
 
 impl CellCharacterizer {
     /// Creates a characterizer.
     pub fn new(tech: Technology, options: CharacterizeOptions) -> Self {
-        Self { tech, options }
+        Self {
+            tech,
+            options,
+            op_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// The technology being characterized.
@@ -134,6 +175,77 @@ impl CellCharacterizer {
         event: &StrikeEvent,
         deltas: &HashMap<TransistorRole, Voltage>,
     ) -> Result<bool, SpiceError> {
+        // Flipped ⇔ the decoded state differs from the held `One`, which
+        // `decode_state` defines as vq > vqb — i.e. margin ≤ 0.
+        Ok(self.strike_margin(vdd, event, deltas)? <= 0.0)
+    }
+
+    /// Pre-strike operating point of the (un-struck) cell with the given
+    /// ΔVth assignment, served from the per-`(vdd, deltas)` cache.
+    ///
+    /// On a miss the solve itself is accelerated: variation samples are
+    /// warm-started from this `vdd`'s *nominal* operating point. The warm
+    /// seed is always the deterministic nominal state — never "whatever
+    /// sample solved last" — so same-seed results cannot depend on thread
+    /// scheduling.
+    fn pre_strike_state(
+        &self,
+        vdd: Voltage,
+        deltas: &HashMap<TransistorRole, Voltage>,
+        cell: &SramCell,
+        state: CellState,
+    ) -> Result<Arc<Vec<f64>>, SpiceError> {
+        let key = op_key(vdd, deltas);
+        // Cached values are pure solve results, valid even if another
+        // thread panicked mid-insert — recover from poisoning rather than
+        // propagate it.
+        if let Some(hit) = self
+            .op_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+        {
+            finrad_observe::counter_add(finrad_observe::keys::SRAM_DCOP_CACHE_HITS, 1);
+            return Ok(hit.clone());
+        }
+        finrad_observe::counter_add(finrad_observe::keys::SRAM_DCOP_CACHE_MISSES, 1);
+        let op = if deltas.is_empty() {
+            // Nominal cell: cold solve seeded from the rail-idealized
+            // state, which selects the bistable basin.
+            analysis::dc_operating_point_from(
+                cell.circuit(),
+                &self.options.newton,
+                &cell.initial_conditions(state),
+            )?
+        } else {
+            // Variation sample: a near-identical circuit, so warm-start
+            // from the nominal operating point at this vdd.
+            let nominal_cell = SramCell::new(&self.tech, vdd);
+            let nominal = self.pre_strike_state(vdd, &HashMap::new(), &nominal_cell, state)?;
+            analysis::dc_operating_point_warm(cell.circuit(), &self.options.newton, &nominal)?
+        };
+        let entry = Arc::new(op.node_voltages().to_vec());
+        self.op_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, entry.clone());
+        Ok(entry)
+    }
+
+    /// Simulates one strike and returns the cell's final normalized state
+    /// margin `(v_Q − v_QB)/vdd`: positive = held `One`, ≤ 0 = flipped.
+    ///
+    /// The transient starts from the cached pre-strike operating point and
+    /// exits the settle phase early once the margin is provably
+    /// stationary: |margin| beyond half the supply with a per-step change
+    /// under 1e-3 for 8 consecutive coarse steps. The exit decision
+    /// depends only on the trajectory, so results stay deterministic.
+    fn strike_margin(
+        &self,
+        vdd: Voltage,
+        event: &StrikeEvent,
+        deltas: &HashMap<TransistorRole, Voltage>,
+    ) -> Result<f64, SpiceError> {
         let state = CellState::One;
         let mut cell = SramCell::new(&self.tech, vdd);
         for (&role, &dv) in deltas {
@@ -141,20 +253,40 @@ impl CellCharacterizer {
             let dev = cell.circuit().mosfet(id).with_delta_vth(dv);
             *cell.circuit_mut().mosfet_mut(id) = dev;
         }
+        let pre = self.pre_strike_state(vdd, deltas, &cell, state)?;
         event.inject(&mut cell, state);
 
         let plan = TimeStepPlan::for_pulse(event.t_start, event.width, self.options.settle);
-        let ic = cell.initial_conditions(state);
-        let res = analysis::transient(
+        let fine_span = event.t_start + event.width * 2.0;
+        let vdd_v = vdd.volts();
+        let (iq, iqb) = (cell.q().index(), cell.qb().index());
+        let mut prev_m = f64::NAN;
+        let mut stable = 0u32;
+        let (res, stopped) = analysis::transient_until(
             cell.circuit(),
             &plan,
-            &ic,
+            &pre,
             &[cell.q(), cell.qb()],
             &self.options.newton,
+            |t, v| {
+                // Only the settle tail may be cut short; the pulse window
+                // and its immediate aftermath are always simulated.
+                if t <= fine_span {
+                    return false;
+                }
+                let m = (v[iq] - v[iqb]) / vdd_v;
+                let stationary = m.abs() > 0.5 && (m - prev_m).abs() < 1.0e-3;
+                stable = if stationary { stable + 1 } else { 0 };
+                prev_m = m;
+                stable >= 8
+            },
         )?;
+        if stopped {
+            finrad_observe::counter_add(finrad_observe::keys::SRAM_SETTLE_EARLY_EXITS, 1);
+        }
         let vq = res.final_voltage(cell.q());
         let vqb = res.final_voltage(cell.qb());
-        Ok(cell.decode_state(vq, vqb) != state)
+        Ok((vq - vqb) / vdd_v)
     }
 
     /// Whether a strike of total charge `q` on `combo` (split equally)
@@ -179,7 +311,10 @@ impl CellCharacterizer {
         self.simulate_strike(vdd, &event, deltas)
     }
 
-    /// Finds the critical charge of `combo` at `vdd` by geometric bisection.
+    /// Finds the critical charge of `combo` at `vdd`: a geometric
+    /// bracketing scan followed by ITP refinement (superlinear, bounded by
+    /// bisection's worst case) on the flip margin over `ln q`, reusing the
+    /// scan's endpoint evaluations instead of recomputing them.
     ///
     /// If even `q_search_max` does not flip the cell, that bound is
     /// returned (a saturated sample: POF stays 0 up to it).
@@ -201,45 +336,84 @@ impl CellCharacterizer {
         // the physically meaningful critical charge.
         let q_floor = 1.0e-18; // ~6 electrons: never flips
         let mut lo = q_floor;
+        let mut m_lo: Option<f64> = None; // margin at lo (q_floor is never probed)
         let mut hi = lo;
-        let mut bracketed = false;
+        let mut bracket = None;
         while hi < self.options.q_search_max {
             hi = (hi * 1.6).min(self.options.q_search_max);
-            if self.flips_counted(vdd, combo, Charge::from_coulombs(hi), deltas)? {
-                bracketed = true;
+            let m = self.margin_counted(vdd, combo, Charge::from_coulombs(hi), deltas)?;
+            if m <= 0.0 {
+                bracket = Some(m);
                 break;
             }
             lo = hi;
+            m_lo = Some(m);
         }
-        if !bracketed {
+        let Some(m_hi) = bracket else {
             // Saturated sample: never flipped in the search range.
             return Ok(Charge::from_coulombs(self.options.q_search_max));
-        }
-        if lo <= q_floor {
+        };
+        let Some(m_lo) = m_lo else {
+            // The very first scan probe already flips: the threshold is at
+            // or below the floor.
             return Ok(Charge::from_coulombs(lo));
+        };
+
+        // Refine in ln-space, threading the scan's endpoint margins
+        // through so neither endpoint transient is re-run. The stop width
+        // ln(1 + rel_tol) reproduces the retired criterion
+        // `hi/lo ≤ 1 + rel_tol`, and the returned bracket midpoint is the
+        // geometric mean the retired search returned.
+        let mut err: Option<SpiceError> = None;
+        let result = itp_from(
+            |x: f64| {
+                if err.is_some() {
+                    // A previous evaluation failed: poison the search so
+                    // it stops immediately with a typed error.
+                    return f64::NAN;
+                }
+                match self.margin_counted(vdd, combo, Charge::from_coulombs(x.exp()), deltas) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        err = Some(e);
+                        f64::NAN
+                    }
+                }
+            },
+            Endpoint::new(lo.ln(), m_lo),
+            Endpoint::new(hi.ln(), m_hi),
+            (1.0 + self.options.bisect_rel_tol).ln(),
+            200,
+        );
+        if let Some(e) = err {
+            return Err(e);
         }
-        while hi / lo > 1.0 + self.options.bisect_rel_tol {
-            let mid = (lo * hi).sqrt();
-            if self.flips_counted(vdd, combo, Charge::from_coulombs(mid), deltas)? {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
+        match result {
+            Ok(root) => Ok(Charge::from_coulombs(root.x.exp())),
+            // A genuinely non-finite margin (NaN with no underlying SPICE
+            // error) or an iteration blow-up: surface it as a typed solver
+            // failure instead of a panic or a silent wrong answer.
+            Err(e) => Err(numerics_failure(&e)),
         }
-        Ok(Charge::from_coulombs((lo * hi).sqrt()))
     }
 
-    /// [`Self::flips`] plus the bracketing/bisection transient-evaluation
-    /// counter (`sram.characterize.bisection_steps`).
-    fn flips_counted(
+    /// Flip margin of one probe charge, plus the bracketing/refinement
+    /// transient-evaluation counter (`sram.characterize.bisection_steps`).
+    fn margin_counted(
         &self,
         vdd: Voltage,
         combo: StrikeCombo,
         q: Charge,
         deltas: &HashMap<TransistorRole, Voltage>,
-    ) -> Result<bool, SpiceError> {
+    ) -> Result<f64, SpiceError> {
         finrad_observe::counter_add(finrad_observe::keys::SRAM_BISECTION_STEPS, 1);
-        self.flips(vdd, combo, q, deltas)
+        let event = StrikeEvent::with_shape(
+            combo.split_charge(q),
+            self.options.t_start,
+            self.pulse_width(vdd),
+            self.options.shape,
+        );
+        self.strike_margin(vdd, &event, deltas)
     }
 
     /// Draws one per-transistor ΔVth assignment.
@@ -501,6 +675,81 @@ mod tests {
         // it is strictly between 0 and 1 for a healthy sigma.
         let p = mc.pof(Charge::from_coulombs(q_nom));
         assert!(p > 0.0 && p < 1.0, "pof at nominal {p}");
+    }
+
+    /// The geometric bisection this PR retired, kept here verbatim as the
+    /// golden reference: scan up by ×1.6 to bracket the first flip, then
+    /// halve the bracket in log-space to `bisect_rel_tol`.
+    fn retired_geometric_bisection(
+        ch: &CellCharacterizer,
+        vdd: Voltage,
+        combo: StrikeCombo,
+        deltas: &HashMap<TransistorRole, Voltage>,
+    ) -> Charge {
+        let q_floor = 1.0e-18;
+        let mut lo = q_floor;
+        let mut hi = lo;
+        let mut bracketed = false;
+        while hi < ch.options().q_search_max {
+            hi = (hi * 1.6).min(ch.options().q_search_max);
+            if ch
+                .flips(vdd, combo, Charge::from_coulombs(hi), deltas)
+                .unwrap()
+            {
+                bracketed = true;
+                break;
+            }
+            lo = hi;
+        }
+        if !bracketed {
+            return Charge::from_coulombs(ch.options().q_search_max);
+        }
+        if lo <= q_floor {
+            return Charge::from_coulombs(lo);
+        }
+        while hi / lo > 1.0 + ch.options().bisect_rel_tol {
+            let mid = (lo * hi).sqrt();
+            if ch
+                .flips(vdd, combo, Charge::from_coulombs(mid), deltas)
+                .unwrap()
+            {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Charge::from_coulombs((lo * hi).sqrt())
+    }
+
+    #[test]
+    fn golden_itp_matches_retired_bisection_within_tolerance() {
+        // Satellite guarantee of this PR: the ITP-based search returns a
+        // critical charge within `bisect_rel_tol` of the retired geometric
+        // bisection, nominal and under variation alike.
+        let ch = characterizer();
+        let vdd = Voltage::from_volts(0.8);
+        let tol = ch.options().bisect_rel_tol;
+        let mut rng = Xoshiro256pp::salted_stream(7, 0, 0x9E37_79B9_7F4A_7C15);
+        let var = VariationModel::pelgrom(ch.technology());
+        let cases: Vec<(StrikeCombo, HashMap<TransistorRole, Voltage>)> = vec![
+            (StrikeCombo::single(StrikeTarget::I1), HashMap::new()),
+            (StrikeCombo::new(&StrikeTarget::ALL), HashMap::new()),
+            (
+                StrikeCombo::single(StrikeTarget::I1),
+                ch.sample_deltas(&var, &mut rng),
+            ),
+        ];
+        for (combo, deltas) in cases {
+            let golden = retired_geometric_bisection(&ch, vdd, combo, &deltas);
+            let new = ch.critical_charge(vdd, combo, &deltas).unwrap();
+            let ratio = new.coulombs() / golden.coulombs();
+            assert!(
+                (1.0 - tol..=1.0 + tol).contains(&ratio),
+                "{combo:?}: itp {} fC vs retired {} fC (ratio {ratio})",
+                new.femtocoulombs(),
+                golden.femtocoulombs()
+            );
+        }
     }
 
     #[test]

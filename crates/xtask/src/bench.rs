@@ -231,6 +231,30 @@ pub fn validate(text: &str) -> Vec<String> {
     errors
 }
 
+/// Checks that a trajectory document carries each required pipeline
+/// counter with a non-zero value. Returns one message per missing or zero
+/// counter (empty means all present). Used by `cargo xtask bench --check
+/// --require-counter <key>` so CI can gate on the instrumented smoke run
+/// actually exercising a code path (e.g. the warm-start counters) instead
+/// of merely validating the file's shape.
+pub fn require_counters(text: &str, required: &[String]) -> Vec<String> {
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return vec![e.to_string()],
+    };
+    let counters = doc.get("pipeline").and_then(|p| p.get("counters"));
+    required
+        .iter()
+        .filter_map(|key| match counters.and_then(|c| c.get(key)) {
+            None => Some(format!("required pipeline counter {key:?} is missing")),
+            Some(v) if v.as_u64() == Some(0) => {
+                Some(format!("required pipeline counter {key:?} is zero"))
+            }
+            Some(_) => None,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +334,28 @@ mod tests {
             .any(|e| e.contains("schema_version")));
         let broken = doc.replace("\"ns_per_iter\": 1234", "\"ns_per_iter\": -1");
         assert!(validate(&broken).iter().any(|e| e.contains("benches[0]")));
+    }
+
+    #[test]
+    fn required_counters_must_be_present_and_non_zero() {
+        let doc = compose(25, true, 8, &entries(), METRICS);
+        let req = |keys: &[&str]| -> Vec<String> {
+            require_counters(
+                &doc,
+                &keys.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(req(&["spice.newton.iterations"]), Vec::<String>::new());
+        let missing = req(&["spice.newton.warm_starts"]);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("missing"), "{missing:?}");
+        let zeroed = doc.replace(
+            "\"spice.newton.iterations\":42",
+            "\"spice.newton.iterations\":0",
+        );
+        let zero = require_counters(&zeroed, &["spice.newton.iterations".to_string()]);
+        assert_eq!(zero.len(), 1);
+        assert!(zero[0].contains("zero"), "{zero:?}");
     }
 
     #[test]

@@ -42,14 +42,16 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: cargo xtask lint [--deny-all] [--fix-allowlist] [--json <path|->] \
 [--format json] [--check-report <path>] [--max <lint>=<N>]\n       \
-cargo xtask bench [--smoke] [--out <path>] [--check <path>]";
+cargo xtask bench [--smoke] [--out <path>] [--check <path>] [--require-counter <key>]";
 
-const BENCH_USAGE: &str = "usage: cargo xtask bench [--smoke] [--out <path>] [--check <path>]";
+const BENCH_USAGE: &str = "usage: cargo xtask bench [--smoke] [--out <path>] [--check <path>] \
+[--require-counter <key>]";
 
 fn bench_command(args: &[String]) -> ExitCode {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
     let mut check: Option<PathBuf> = None;
+    let mut required: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -68,6 +70,13 @@ fn bench_command(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--require-counter" => match it.next() {
+                Some(key) => required.push(key.clone()),
+                None => {
+                    eprintln!("--require-counter needs a metric key\n{BENCH_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown bench flag `{other}`\n{BENCH_USAGE}");
                 return ExitCode::from(2);
@@ -83,9 +92,14 @@ fn bench_command(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let errors = xtask::bench::validate(&text);
+        let mut errors = xtask::bench::validate(&text);
+        errors.extend(xtask::bench::require_counters(&text, &required));
         if errors.is_empty() {
-            println!("{}: schema-valid trajectory file", path.display());
+            println!(
+                "{}: schema-valid trajectory file ({} required counter(s) present)",
+                path.display(),
+                required.len()
+            );
             return ExitCode::SUCCESS;
         }
         for e in &errors {
@@ -156,8 +170,10 @@ fn bench_command(args: &[String]) -> ExitCode {
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     let doc = xtask::bench::compose(bench_ms, smoke, parallelism, &benches, &pipeline_json);
-    // Self-check: never write a trajectory file the schema gate rejects.
-    let errors = xtask::bench::validate(&doc);
+    // Self-check: never write a trajectory file the schema gate rejects,
+    // nor one missing a counter the caller declared mandatory.
+    let mut errors = xtask::bench::validate(&doc);
+    errors.extend(xtask::bench::require_counters(&doc, &required));
     if !errors.is_empty() {
         for e in &errors {
             eprintln!("error: composed document fails its own schema: {e}");
