@@ -25,7 +25,7 @@ cargo run -q --offline --release --features fault-injection --example campaign_s
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo xtask lint (deny-all, all families capped at 0, JSON report)"
+echo "==> cargo xtask lint (deny-all, all families capped at 0, JSON + SARIF)"
 cargo xtask lint --deny-all \
   --max unit-safety=0 \
   --max raw-escape-audit=0 \
@@ -35,10 +35,19 @@ cargo xtask lint --deny-all \
   --max shared-state-audit=0 \
   --max checkpoint-schema-drift=0 \
   --max unused-suppression=0 \
-  --json target/lint-report.json
+  --max lock-order-audit=0 \
+  --max guard-lifetime-audit=0 \
+  --max cancellation-responsiveness=0 \
+  --max result-discard-audit=0 \
+  --json target/lint-report.json \
+  --sarif target/lint-report.sarif
 
-echo "==> cargo xtask lint --check-report (report schema gate)"
+echo "==> cargo xtask lint --check-report (JSON + SARIF schema gates)"
 cargo xtask lint --check-report target/lint-report.json
+cargo xtask lint --check-report target/lint-report.sarif
+
+echo "==> cargo xtask lint --diff-base (no diagnostics beyond the committed base)"
+cargo xtask lint --diff-base xtask/lint-report-base.json
 
 echo "==> cargo xtask bench --smoke (trajectory schema + hot-path counter gate)"
 cargo xtask bench --smoke --out target/BENCH_smoke.json

@@ -52,6 +52,7 @@ use finrad_environment::SpectrumBin;
 use finrad_numerics::rng::{Rng, Xoshiro256pp};
 use finrad_observe::keys;
 use finrad_spice::cancel::install_scoped;
+use finrad_spice::sync::{lock_recovering, wait_recovering, wait_timeout_recovering};
 use finrad_spice::{CancelToken, SpiceError};
 use finrad_sram::PofTable;
 use finrad_transport::lut::EhpLut;
@@ -381,7 +382,7 @@ impl Shared {
         // A worker panicking with the lock held cannot happen (all job
         // code runs under catch_unwind off-lock), but poisoning must not
         // wedge the daemon regardless.
-        self.state.lock().unwrap_or_else(|p| p.into_inner())
+        lock_recovering(&self.state)
     }
 }
 
@@ -490,7 +491,7 @@ impl CampaignService {
                 Some(Slot::Done(result)) => return result.clone(),
                 Some(_) => {}
             }
-            st = self.shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            st = wait_recovering(&self.shared.cv, st);
         }
     }
 
@@ -537,7 +538,7 @@ impl CampaignService {
         st.draining = true;
         self.shared.cv.notify_all();
         while !st.all_jobs_done() {
-            st = self.shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            st = wait_recovering(&self.shared.cv, st);
         }
     }
 
@@ -551,8 +552,11 @@ impl CampaignService {
             st.stopping = true;
         }
         self.shared.cv.notify_all();
-        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|p| p.into_inner()));
+        let handles = std::mem::take(&mut *lock_recovering(&self.workers));
         for handle in handles {
+            // A worker that panicked has already dead-lettered its item;
+            // its join error carries nothing further to handle.
+            // finrad-lint: allow(result-discard-audit)
             let _ = handle.join();
         }
         // Workers are gone: whatever is still live was interrupted.
@@ -564,6 +568,10 @@ impl CampaignService {
             .map(|(id, _)| *id)
             .collect();
         for id in interrupted {
+            // Checkpoint I/O under the state lock is deliberate here: the
+            // workers are already joined, so nothing contends, and holding
+            // `st` keeps the flush + finalize transition atomic.
+            // finrad-lint: allow(guard-lifetime-audit)
             let result = flush_partial(&mut st, id);
             st.finalize(id, Err(result));
         }
@@ -629,14 +637,11 @@ fn worker_loop(shared: &Arc<Shared>, widx: usize) {
                 match st.delayed.iter().map(|d| d.ready_at).min() {
                     Some(ready_at) => {
                         let wait = ready_at.saturating_duration_since(Instant::now());
-                        let (guard, _) = shared
-                            .cv
-                            .wait_timeout(st, wait)
-                            .unwrap_or_else(|p| p.into_inner());
+                        let (guard, _) = wait_timeout_recovering(&shared.cv, st, wait);
                         st = guard;
                     }
                     None => {
-                        st = shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                        st = wait_recovering(&shared.cv, st);
                     }
                 }
             }

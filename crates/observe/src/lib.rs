@@ -244,10 +244,12 @@ impl InMemoryRecorder {
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         // A panicking worker thread must not disable metrics for the rest
         // of the run; the aggregates stay internally consistent because
-        // each update is a single guarded mutation.
-        self.inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        // each update is a single guarded mutation. `finrad-observe` sits
+        // below `finrad-spice` in the crate graph, so it cannot call the
+        // workspace-sanctioned `finrad_spice::sync::lock_recovering` and
+        // keeps the recovery idiom inline.
+        // finrad-lint: allow(lock-order-audit)
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// A point-in-time copy of every counter and histogram.

@@ -100,9 +100,7 @@ fn registry() -> &'static Mutex<HashMap<ThreadId, CancelToken>> {
 fn lock_registry() -> std::sync::MutexGuard<'static, HashMap<ThreadId, CancelToken>> {
     // A panicking worker (caught upstream by its supervisor) must not
     // disable cancellation for every other thread.
-    registry()
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    crate::sync::lock_recovering(registry())
 }
 
 /// Registers `token` as the cancellation token of the *current thread* for

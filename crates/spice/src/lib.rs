@@ -44,6 +44,7 @@ mod circuit;
 pub mod fault;
 pub mod recovery;
 pub mod source;
+pub mod sync;
 pub mod waveform;
 
 pub use cancel::{CancelScope, CancelToken};

@@ -16,6 +16,7 @@ use finrad_numerics::rng::{Rng, Xoshiro256pp};
 use finrad_numerics::roots::{itp_from, Endpoint};
 use finrad_numerics::NumericsError;
 use finrad_spice::analysis::{self, NewtonOptions, TimeStepPlan};
+use finrad_spice::sync::lock_recovering;
 use finrad_spice::{PulseShape, SpiceError};
 use finrad_units::{Charge, Voltage};
 use std::collections::{BTreeMap, HashMap};
@@ -199,12 +200,7 @@ impl CellCharacterizer {
         // Cached values are pure solve results, valid even if another
         // thread panicked mid-insert — recover from poisoning rather than
         // propagate it.
-        if let Some(hit) = self
-            .op_cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .get(&key)
-        {
+        if let Some(hit) = lock_recovering(&self.op_cache).get(&key) {
             finrad_observe::counter_add(finrad_observe::keys::SRAM_DCOP_CACHE_HITS, 1);
             return Ok(hit.clone());
         }
@@ -225,10 +221,7 @@ impl CellCharacterizer {
             analysis::dc_operating_point_warm(cell.circuit(), &self.options.newton, &nominal)?
         };
         let entry = Arc::new(op.node_voltages().to_vec());
-        self.op_cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .insert(key, entry.clone());
+        lock_recovering(&self.op_cache).insert(key, entry.clone());
         Ok(entry)
     }
 

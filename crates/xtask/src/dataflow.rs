@@ -1,0 +1,119 @@
+//! Forward dataflow over [`crate::cfg`] graphs.
+//!
+//! A classic worklist solver: facts propagate from [`cfg::ENTRY`] along
+//! successor edges, merging at joins, until a fixpoint. Clients implement
+//! [`Analysis`] with a monotone `join` (facts only grow), which bounds the
+//! iteration for the finite fact domains the lint families use (sets of
+//! live guards, held lock identities).
+
+use crate::cfg::{self, Cfg};
+
+/// One forward dataflow problem over a function's CFG.
+pub trait Analysis {
+    /// The per-block fact. Must form a join-semilattice under [`join`]
+    /// (`join` only ever adds information) for the solver to terminate.
+    ///
+    /// [`join`]: Analysis::join
+    type Fact: Clone + PartialEq;
+
+    /// Fact at function entry.
+    fn entry_fact(&self) -> Self::Fact;
+
+    /// The bottom element: the initial fact of unvisited blocks.
+    fn empty_fact(&self) -> Self::Fact;
+
+    /// Merges `other` into `into`; returns true when `into` changed.
+    fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Computes the fact at the end of `block` from the fact at its start.
+    fn transfer(&self, cfg: &Cfg, block: usize, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Runs `analysis` to fixpoint; returns the fact at the *start* of every
+/// block. The caller re-applies `transfer` wherever it wants the mid-block
+/// states (e.g. to emit diagnostics at exact token positions).
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Vec<A::Fact> {
+    let n = cfg.blocks.len();
+    let mut facts: Vec<A::Fact> = (0..n).map(|_| analysis.empty_fact()).collect();
+    let mut visited = vec![false; n];
+    facts[cfg::ENTRY] = analysis.entry_fact();
+    visited[cfg::ENTRY] = true;
+
+    let mut work: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut queued = vec![false; n];
+    work.push_back(cfg::ENTRY);
+    queued[cfg::ENTRY] = true;
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let out = analysis.transfer(cfg, b, &facts[b]);
+        for &s in &cfg.blocks[b].succs {
+            let changed = if !visited[s] {
+                visited[s] = true;
+                facts[s] = out.clone();
+                true
+            } else {
+                analysis.join(&mut facts[s], &out)
+            };
+            if changed && !queued[s] {
+                queued[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build;
+    use crate::lexer::{lex, TokenKind};
+    use std::collections::BTreeSet;
+
+    /// Toy analysis: the set of single-letter idents seen on some path.
+    struct SeenIdents<'a> {
+        toks: &'a [crate::lexer::Token],
+    }
+
+    impl<'a> Analysis for SeenIdents<'a> {
+        type Fact = BTreeSet<String>;
+        fn entry_fact(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn empty_fact(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+        fn join(&self, into: &mut Self::Fact, other: &Self::Fact) -> bool {
+            let before = into.len();
+            into.extend(other.iter().cloned());
+            into.len() != before
+        }
+        fn transfer(&self, cfg: &Cfg, block: usize, fact: &Self::Fact) -> Self::Fact {
+            let mut out = fact.clone();
+            for i in cfg.block_tokens(block) {
+                if self.toks[i].kind == TokenKind::Ident && self.toks[i].text.len() == 1 {
+                    out.insert(self.toks[i].text.clone());
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn facts_flow_through_branches_and_loops() {
+        let lexed = lex("fn f() { a; if c { b; } loop { d; if x { break; } } e; }");
+        let open = lexed.tokens.iter().position(|t| t.text == "{").unwrap();
+        let cfg = build(&lexed.tokens, (open, lexed.tokens.len() - 1));
+        let analysis = SeenIdents {
+            toks: &lexed.tokens,
+        };
+        let facts = solve(&cfg, &analysis);
+        // The exit fact (join of everything) contains all names, including
+        // those inside the loop, which required the back-edge iteration.
+        let exit = &facts[crate::cfg::EXIT];
+        for name in ["a", "b", "c", "d", "e", "x"] {
+            assert!(exit.contains(name), "missing {name}: {exit:?}");
+        }
+    }
+}

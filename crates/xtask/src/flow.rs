@@ -1,0 +1,1670 @@
+//! Flow-sensitive concurrency lint families.
+//!
+//! Built on [`crate::cfg`] + [`crate::dataflow`], these families analyze
+//! every workspace `fn` body *together* (a lightweight interprocedural
+//! layer over a name-keyed function index) and emit four diagnostics:
+//!
+//! * `lock-order-audit` — the workspace lock-acquisition graph: while a
+//!   guard for lock `a` is live, acquiring lock `b` (directly or through a
+//!   call whose transitive lock set contains `b`) adds the edge `a → b`; a
+//!   cycle in that graph is a potential deadlock. The family also flags the
+//!   inline poisoned-lock recovery idiom (`unwrap_or_else(|p|
+//!   p.into_inner())`) anywhere outside the sanctioned
+//!   `finrad_spice::sync` module.
+//! * `guard-lifetime-audit` — a lock guard provably live across a blocking
+//!   call: a SPICE solve, a `Condvar` wait consuming a *different* guard,
+//!   `JoinHandle::join`, `sleep`, channel `recv`, checkpoint `save`, or any
+//!   function that transitively blocks. The guard a condvar wait consumes
+//!   is exempt (that is the sanctioned wait pattern).
+//! * `cancellation-responsiveness` — every *blocking, unbounded* loop
+//!   reachable from a supervised entry point (a function named inside a
+//!   `spawn(..)` call) must poll cancellation (`is_cancelled`,
+//!   `cancelled_reason`, a `stopping` flag) or call a function that
+//!   transitively does. Bounded loops (`for`, `while let`, `while` with a
+//!   comparison in the condition) are exempt.
+//! * `result-discard-audit` — a `Result` from a workspace function (or
+//!   `JoinHandle::join`) dropped via `let _ = …` or bound to a name that is
+//!   never read again.
+//!
+//! Every approximation leans toward silence on idiomatic code: calls
+//! through function-typed *parameters* are opaque, bare-`self` receivers
+//! have unknown lock identity and are skipped, and guard bindings are only
+//! tracked when the acquisition heads the binding's own call chain.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::{Path, PathBuf};
+
+use crate::cfg::{self, Cfg, LoopKind};
+use crate::dataflow;
+use crate::lexer::{LexedFile, Token, TokenKind};
+use crate::lints::{LintId, Violation};
+
+/// One lexed workspace file, the unit of input to [`analyze`].
+pub struct FileUnit {
+    /// Repo-relative path (used in diagnostics and for sanctioning).
+    pub path: PathBuf,
+    /// Its token stream.
+    pub lexed: LexedFile,
+}
+
+/// The sanctioned poison-recovery helpers in `spice/src/sync.rs`: their
+/// bodies are exempt from acquisition tracking, and *calls* to them are the
+/// blessed acquisition/wait forms.
+pub const SYNC_HELPERS: [&str; 3] = [
+    "lock_recovering",
+    "wait_recovering",
+    "wait_timeout_recovering",
+];
+
+/// Zero-argument methods that acquire a lock primitive.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Condvar-style waits: blocking calls that *consume* a guard argument.
+const WAIT_CALLS: [&str; 4] = [
+    "wait",
+    "wait_timeout",
+    "wait_recovering",
+    "wait_timeout_recovering",
+];
+
+/// Call names that block the calling thread (seeds of the transitive
+/// blocking closure). SPICE solver entry points count: a solve under a held
+/// lock serializes the whole worker pool. `save` covers checkpoint I/O;
+/// `load` is omitted (too many innocuous `load` methods exist).
+const BLOCKING_SEEDS: [&str; 20] = [
+    "join",
+    "catch_unwind",
+    "sleep",
+    "park",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_recovering",
+    "wait_timeout_recovering",
+    "save",
+    "dc_operating_point",
+    "dc_operating_point_from",
+    "dc_operating_point_warm",
+    "dc_operating_point_with_recovery",
+    "transient",
+    "transient_with_trace",
+    "transient_from_state",
+    "transient_until",
+    "run_transient",
+];
+
+/// Idents whose presence satisfies cancellation polling (token methods and
+/// the service's `stopping` flag).
+const POLL_MARKERS: [&str; 3] = ["is_cancelled", "cancelled_reason", "stopping"];
+
+/// Non-workspace methods known to return `Result`.
+const RESULT_METHODS: [&str; 1] = ["join"];
+
+/// Chain combinators that hand a guard through unchanged, so
+/// `let g = m.lock().unwrap();` still binds a guard.
+const TRANSPARENT_COMBINATORS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// Primitive concurrency names (`lock`, `wait`, the sync helpers, poll
+/// markers, blocking seeds) are modeled *directly* by the analysis; a call
+/// to one must not also resolve to a same-named workspace function, or
+/// collisions like `Condvar::wait` → `CampaignService::wait` thread
+/// phantom blocking/lock facts through the call graph.
+fn primitive_name(name: &str) -> bool {
+    BLOCKING_SEEDS.contains(&name)
+        || ACQUIRE_METHODS.contains(&name)
+        || SYNC_HELPERS.contains(&name)
+        || POLL_MARKERS.contains(&name)
+}
+
+// ---------------------------------------------------------------------------
+// Function index
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct FnDef {
+    name: String,
+    file: usize,
+    /// Token indices of the body braces (inclusive).
+    body: (usize, usize),
+    params: BTreeSet<String>,
+    returns_result: bool,
+    in_test: bool,
+    /// True for the `finrad_spice::sync` helper implementations.
+    sanctioned: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FnFacts {
+    calls: BTreeSet<String>,
+    locks: BTreeSet<String>,
+    blocking: bool,
+    polls: bool,
+}
+
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn extract_fns(units: &[FileUnit]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    for (fi, u) in units.iter().enumerate() {
+        let toks = &u.lexed.tokens;
+        let sync_file = u.path.ends_with(Path::new("spice/src/sync.rs"));
+        let mut k = 0;
+        while k < toks.len() {
+            if !(toks[k].kind == TokenKind::Ident && toks[k].text == "fn") {
+                k += 1;
+                continue;
+            }
+            let Some(name_tok) = toks.get(k + 1).filter(|t| t.kind == TokenKind::Ident) else {
+                k += 1;
+                continue;
+            };
+            // Find the body `{` at paren/bracket/angle depth 0; a `;`
+            // first means a bodyless trait method.
+            let mut depth = 0i32;
+            let mut angle = 0i32;
+            let mut open = None;
+            let mut j = k + 2;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "<" if depth == 0 => angle += 1,
+                        ">" if depth == 0 && !is_punct(toks, j.wrapping_sub(1), "-") => angle -= 1,
+                        "{" if depth == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        ";" if depth == 0 && angle <= 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let Some(open) = open else {
+                k += 1;
+                continue;
+            };
+            let close = matching_brace(toks, open);
+            // Parameter names: idents followed by `:` at depth 1 of the
+            // first paren group outside generics.
+            let mut params = BTreeSet::new();
+            let mut angle = 0i32;
+            let mut p = k + 2;
+            let mut param_close = k + 2;
+            while p < open {
+                let t = &toks[p];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "<" => angle += 1,
+                        ">" if !is_punct(toks, p.wrapping_sub(1), "-") => angle -= 1,
+                        "(" if angle <= 0 => {
+                            let mut d = 0i32;
+                            let mut q = p;
+                            while q < open {
+                                let tq = &toks[q];
+                                if tq.kind == TokenKind::Punct {
+                                    match tq.text.as_str() {
+                                        "(" => d += 1,
+                                        ")" => {
+                                            d -= 1;
+                                            if d == 0 {
+                                                break;
+                                            }
+                                        }
+                                        _ => {}
+                                    }
+                                } else if tq.kind == TokenKind::Ident
+                                    && d == 1
+                                    && is_punct(toks, q + 1, ":")
+                                {
+                                    params.insert(tq.text.clone());
+                                }
+                                q += 1;
+                            }
+                            param_close = q;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                p += 1;
+            }
+            let returns_result = (param_close..open)
+                .any(|i| toks[i].kind == TokenKind::Ident && toks[i].text == "Result");
+            out.push(FnDef {
+                name: name_tok.text.clone(),
+                file: fi,
+                body: (open, close),
+                params,
+                returns_result,
+                in_test: toks[k].in_test,
+                sanctioned: sync_file && SYNC_HELPERS.contains(&name_tok.text.as_str()),
+            });
+            k += 2;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(toks: &[Token], i: usize, s: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
+}
+
+/// A call site: an ident immediately followed by `(` (macros — ident
+/// followed by `!` — are not calls).
+fn call_name(toks: &[Token], i: usize) -> Option<&str> {
+    let t = toks.get(i)?;
+    if t.kind != TokenKind::Ident || !is_punct(toks, i + 1, "(") {
+        return None;
+    }
+    Some(&t.text)
+}
+
+/// Identity of a method receiver's last path component:
+/// `self.state.lock()` → `state`, `registry().lock()` → `registry`.
+/// `None` for bare `self` (unknown identity) or unresolvable shapes.
+fn receiver_identity(toks: &[Token], method: usize) -> Option<String> {
+    if method == 0 || !is_punct(toks, method - 1, ".") {
+        return None;
+    }
+    let mut j = method as i64 - 2;
+    // Skip a trailing call's parens: `registry().lock()` receivers.
+    if j >= 0 && is_punct(toks, j as usize, ")") {
+        let mut depth = 0i32;
+        while j >= 0 {
+            if is_punct(toks, j as usize, ")") {
+                depth += 1;
+            } else if is_punct(toks, j as usize, "(") {
+                depth -= 1;
+                if depth == 0 {
+                    j -= 1;
+                    break;
+                }
+            }
+            j -= 1;
+        }
+    }
+    let t = toks.get(usize::try_from(j).ok()?)?;
+    if t.kind != TokenKind::Ident || t.text == "self" {
+        return None;
+    }
+    Some(t.text.clone())
+}
+
+/// Identity carried by the first argument of `lock_recovering(&self.state)`
+/// — the last ident of the argument expression.
+fn first_arg_identity(toks: &[Token], open: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut last = None;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "," if depth == 1 => break,
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && t.text != "self" && t.text != "mut" {
+            last = Some(t.text.clone());
+        }
+        i += 1;
+    }
+    last
+}
+
+/// Idents at depth 1 of a call's parens (used for guard arguments).
+fn arg_idents(toks: &[Token], open: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && depth == 1 {
+            out.push(t.text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Skips a call's parens starting at `open`; returns the index after `)`.
+fn skip_parens(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if is_punct(toks, i, "(") {
+            depth += 1;
+        } else if is_punct(toks, i, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+// ---------------------------------------------------------------------------
+// The guard/lock dataflow
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Guard {
+    lock: String,
+    /// Brace depth of the binding; the guard dies when control reaches a
+    /// shallower token.
+    depth: u32,
+}
+
+type GuardFact = BTreeMap<String, Guard>;
+
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    file: usize,
+    line: usize,
+    col: usize,
+}
+
+#[derive(Debug)]
+struct HeldSite {
+    file: usize,
+    line: usize,
+    col: usize,
+    guard: String,
+    lock: String,
+    callee: String,
+}
+
+/// Everything the emission pass records across all functions.
+#[derive(Debug, Default)]
+struct LockFindings {
+    /// `(held, acquired) → first site`.
+    edges: BTreeMap<(String, String), EdgeSite>,
+    held_across: Vec<HeldSite>,
+}
+
+/// A `let`/assignment binding in flight while its RHS is scanned.
+struct Binding {
+    name: String,
+    /// Position in the block's token list of the terminating `;` (the
+    /// binding takes effect there).
+    end: usize,
+    /// Position in the block's token list where the RHS starts.
+    rhs_start: usize,
+    depth: u32,
+}
+
+struct GuardAnalysis<'a> {
+    toks: &'a [Token],
+    depths: &'a [u32],
+    file: usize,
+    /// Name of the function being analyzed; same-named calls inside it are
+    /// treated as opaque (direct recursion adds no facts, and a
+    /// same-named *method* call — `job.token.cancel()` inside
+    /// `Service::cancel` — is usually a collision, not recursion).
+    fn_name: &'a str,
+    params: &'a BTreeSet<String>,
+    facts_by_name: &'a BTreeMap<String, FnFacts>,
+}
+
+impl<'a> GuardAnalysis<'a> {
+    fn is_blocking_call(&self, name: &str) -> bool {
+        if self.params.contains(name) {
+            return false;
+        }
+        if BLOCKING_SEEDS.contains(&name) {
+            return true;
+        }
+        name != self.fn_name
+            && !primitive_name(name)
+            && self.facts_by_name.get(name).is_some_and(|f| f.blocking)
+    }
+
+    /// Detects an acquisition at token `i`; returns the lock identity.
+    fn acquisition_at(&self, i: usize) -> Option<String> {
+        let name = call_name(self.toks, i)?;
+        if ACQUIRE_METHODS.contains(&name) && is_punct(self.toks, i + 2, ")") {
+            return receiver_identity(self.toks, i);
+        }
+        if name == "lock_recovering" {
+            return first_arg_identity(self.toks, i + 1);
+        }
+        None
+    }
+
+    /// Walks one block, transforming `fact`; with a sink, records edges and
+    /// held-across findings.
+    fn walk_block(
+        &self,
+        cfg: &Cfg,
+        block: usize,
+        fact: &GuardFact,
+        mut sink: Option<&mut LockFindings>,
+    ) -> GuardFact {
+        let idxs: Vec<usize> = cfg.block_tokens(block).collect();
+        let mut f = fact.clone();
+        // Lock identities of this statement's un-bound acquisitions.
+        let mut stmt_temps: Vec<String> = Vec::new();
+        let mut pending: Option<Binding> = None;
+        let mut bound_lock: Option<String> = None;
+
+        let mut p = 0;
+        while p < idxs.len() {
+            let i = idxs[p];
+            let t = &self.toks[i];
+            let d = self.depths[i];
+            // Scope kill: bindings made deeper than this token are gone.
+            f.retain(|_, g| g.depth <= d);
+
+            if pending.as_ref().is_some_and(|b| p >= b.end) {
+                let b = pending.take().unwrap();
+                match bound_lock.take() {
+                    Some(lock) => {
+                        f.insert(
+                            b.name,
+                            Guard {
+                                lock,
+                                depth: b.depth,
+                            },
+                        );
+                    }
+                    // Reassigned to a value we cannot model: stop tracking.
+                    None => {
+                        f.remove(&b.name);
+                    }
+                }
+            }
+
+            if t.kind == TokenKind::Punct && t.text == ";" {
+                stmt_temps.clear();
+                p += 1;
+                continue;
+            }
+            if t.kind != TokenKind::Ident {
+                p += 1;
+                continue;
+            }
+
+            match t.text.as_str() {
+                "let" => {
+                    // A nested `let` means any outer pending binding's RHS
+                    // is a block expression, which cannot be a plain guard
+                    // binding — the inner statement wins.
+                    pending = self.parse_binding(&idxs, p, d);
+                    bound_lock = None;
+                    p += 1;
+                    continue;
+                }
+                "drop" if is_punct(self.toks, i + 1, "(") => {
+                    for a in arg_idents(self.toks, i + 1) {
+                        f.remove(&a);
+                    }
+                    p += 1;
+                    continue;
+                }
+                _ => {}
+            }
+
+            // `name = <rhs>;` reassignment of a tracked (or fresh) guard.
+            if pending.is_none()
+                && is_punct(self.toks, i + 1, "=")
+                && !is_punct(self.toks, i + 2, "=")
+                && !self.toks.get(i.wrapping_sub(1)).is_some_and(|x| {
+                    x.kind == TokenKind::Punct
+                        && matches!(
+                            x.text.as_str(),
+                            "=" | "<"
+                                | ">"
+                                | "!"
+                                | "+"
+                                | "-"
+                                | "*"
+                                | "/"
+                                | "."
+                                | "%"
+                                | "&"
+                                | "|"
+                                | "^"
+                        )
+                })
+            {
+                bound_lock = None;
+                // Moving one guard into another: `a = b;`.
+                if self
+                    .toks
+                    .get(i + 2)
+                    .is_some_and(|x| x.kind == TokenKind::Ident && f.contains_key(&x.text))
+                    && is_punct(self.toks, i + 3, ";")
+                {
+                    let src = self.toks[i + 2].text.clone();
+                    if let Some(g) = f.remove(&src) {
+                        bound_lock = Some(g.lock);
+                    }
+                }
+                pending = Some(Binding {
+                    depth: f.get(&t.text).map(|g| g.depth).unwrap_or(d),
+                    name: t.text.clone(),
+                    end: self.stmt_end(&idxs, p + 2),
+                    rhs_start: p + 2,
+                });
+                p += 1;
+                continue;
+            }
+
+            if let Some(name) = call_name(self.toks, i) {
+                let name = name.to_string();
+                // Condvar wait: only when an argument is a tracked guard
+                // (methods merely *named* `wait` exist on other types).
+                let wait_like = WAIT_CALLS.contains(&name.as_str())
+                    && !self.params.contains(&name)
+                    && arg_idents(self.toks, i + 1)
+                        .iter()
+                        .any(|a| f.contains_key(a));
+                if wait_like {
+                    let mut consumed = None;
+                    for a in arg_idents(self.toks, i + 1) {
+                        if let Some(g) = f.remove(&a) {
+                            consumed = Some(g.lock);
+                        }
+                    }
+                    if let Some(s) = sink.as_deref_mut() {
+                        for (gname, g) in &f {
+                            s.held_across.push(HeldSite {
+                                file: self.file,
+                                line: t.line,
+                                col: t.col,
+                                guard: gname.clone(),
+                                lock: g.lock.clone(),
+                                callee: name.clone(),
+                            });
+                        }
+                    }
+                    // The wait hands the re-acquired guard to the binding
+                    // in flight (`st = cv.wait(st)…` / `let (g, _) = …`).
+                    if pending.is_some() {
+                        bound_lock = consumed;
+                    }
+                    p += 1;
+                    continue;
+                }
+
+                if let Some(lock) = self.acquisition_at(i) {
+                    if let Some(s) = sink.as_deref_mut() {
+                        for g in f.values() {
+                            record_edge(s, &g.lock, &lock, self.file, t);
+                        }
+                        for h in &stmt_temps {
+                            record_edge(s, h, &lock, self.file, t);
+                        }
+                    }
+                    // The acquisition feeds the binding only when it heads
+                    // the RHS chain and the chain is transparent through to
+                    // the statement end.
+                    let is_binding = pending.as_ref().is_some_and(|b| {
+                        p >= b.rhs_start
+                            && self.rhs_top_level(&idxs, b.rhs_start, p)
+                            && self.transparent_to_stmt_end(&idxs, p)
+                    });
+                    if is_binding {
+                        bound_lock = Some(lock);
+                    } else {
+                        stmt_temps.push(lock);
+                    }
+                    p += 1;
+                    continue;
+                }
+
+                // A plain call: guard-lifetime check + interprocedural
+                // lock-order edges through the callee's transitive locks.
+                if let Some(s) = sink.as_deref_mut() {
+                    if self.is_blocking_call(&name) {
+                        for (gname, g) in &f {
+                            s.held_across.push(HeldSite {
+                                file: self.file,
+                                line: t.line,
+                                col: t.col,
+                                guard: gname.clone(),
+                                lock: g.lock.clone(),
+                                callee: name.clone(),
+                            });
+                        }
+                    }
+                    if !self.params.contains(&name)
+                        && !primitive_name(&name)
+                        && name != self.fn_name
+                    {
+                        if let Some(cf) = self.facts_by_name.get(&name) {
+                            for l in &cf.locks {
+                                for g in f.values() {
+                                    record_edge(s, &g.lock, l, self.file, t);
+                                }
+                                for h in &stmt_temps {
+                                    record_edge(s, h, l, self.file, t);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            p += 1;
+        }
+        // A binding whose statement ran to the end of the block.
+        if let (Some(b), Some(lock)) = (pending, bound_lock) {
+            f.insert(
+                b.name,
+                Guard {
+                    lock,
+                    depth: b.depth,
+                },
+            );
+        }
+        f
+    }
+
+    /// Parses `let [mut] name =` / `let (name, _) =` at `idxs[let_pos]`.
+    fn parse_binding(&self, idxs: &[usize], let_pos: usize, depth: u32) -> Option<Binding> {
+        let tok = |q: usize| idxs.get(q).map(|&i| &self.toks[i]);
+        let mut q = let_pos + 1;
+        if tok(q).is_some_and(|t| t.kind == TokenKind::Ident && t.text == "mut") {
+            q += 1;
+        }
+        let t = tok(q)?;
+        let name = if t.kind == TokenKind::Ident && t.text != "_" {
+            t.text.clone()
+        } else if t.kind == TokenKind::Punct && t.text == "(" {
+            // Tuple pattern: first non-`_` ident.
+            let mut r = q + 1;
+            if tok(r).is_some_and(|t| t.text == "mut") {
+                r += 1;
+            }
+            let t = tok(r)?;
+            if t.kind != TokenKind::Ident || t.text == "_" {
+                return None;
+            }
+            t.text.clone()
+        } else {
+            return None;
+        };
+        // Find the `=` (skipping the pattern and any `: Type` annotation).
+        let mut r = q + 1;
+        let eq = loop {
+            let t = tok(r)?;
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "=" if !tok(r + 1)
+                        .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "=") =>
+                    {
+                        break r;
+                    }
+                    ";" => return None,
+                    _ => {}
+                }
+            }
+            r += 1;
+            if r > let_pos + 96 {
+                return None;
+            }
+        };
+        Some(Binding {
+            name,
+            end: self.stmt_end(idxs, eq + 1),
+            rhs_start: eq + 1,
+            depth,
+        })
+    }
+
+    /// Position in `idxs` of the `;` (or unmatched closer) ending the
+    /// statement that starts at `from`.
+    fn stmt_end(&self, idxs: &[usize], from: usize) -> usize {
+        let mut pd = 0i32;
+        let mut q = from;
+        while let Some(&i) = idxs.get(q) {
+            let t = &self.toks[i];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => pd += 1,
+                    ")" | "]" | "}" => {
+                        if pd == 0 {
+                            return q;
+                        }
+                        pd -= 1;
+                    }
+                    ";" if pd == 0 => return q,
+                    _ => {}
+                }
+            }
+            q += 1;
+        }
+        idxs.len()
+    }
+
+    /// True when `idxs[at]` sits at paren/brace depth 0 relative to the RHS
+    /// start — the acquisition heads the binding's own call chain rather
+    /// than being an argument of a wrapping call or a statement inside a
+    /// block expression.
+    fn rhs_top_level(&self, idxs: &[usize], rhs_start: usize, at: usize) -> bool {
+        let mut depth = 0i32;
+        for q in rhs_start..at {
+            let t = &self.toks[idxs[q]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    _ => {}
+                }
+            }
+        }
+        depth == 0
+    }
+
+    /// True when everything between the acquisition's closing paren and the
+    /// statement end is a chain of transparent combinators — the binding
+    /// receives the guard itself, not a value derived from it.
+    fn transparent_to_stmt_end(&self, idxs: &[usize], call_pos: usize) -> bool {
+        let i = idxs[call_pos];
+        let mut next = skip_parens(self.toks, i + 1);
+        loop {
+            if !is_punct(self.toks, next, ".") {
+                break;
+            }
+            let Some(m) = self.toks.get(next + 1) else {
+                break;
+            };
+            if m.kind == TokenKind::Ident
+                && TRANSPARENT_COMBINATORS.contains(&m.text.as_str())
+                && is_punct(self.toks, next + 2, "(")
+            {
+                next = skip_parens(self.toks, next + 2);
+            } else {
+                return false;
+            }
+        }
+        // `;`, end of file, or end of the block's tokens (tail expression).
+        is_punct(self.toks, next, ";") || self.toks.get(next).is_none() || !idxs.contains(&next)
+    }
+}
+
+fn record_edge(s: &mut LockFindings, from: &str, to: &str, file: usize, t: &Token) {
+    s.edges
+        .entry((from.to_string(), to.to_string()))
+        .or_insert(EdgeSite {
+            file,
+            line: t.line,
+            col: t.col,
+        });
+}
+
+impl<'a> dataflow::Analysis for GuardAnalysis<'a> {
+    type Fact = GuardFact;
+    fn entry_fact(&self) -> GuardFact {
+        GuardFact::new()
+    }
+    fn empty_fact(&self) -> GuardFact {
+        GuardFact::new()
+    }
+    fn join(&self, into: &mut GuardFact, other: &GuardFact) -> bool {
+        let mut changed = false;
+        for (k, v) in other {
+            if !into.contains_key(k) {
+                into.insert(k.clone(), v.clone());
+                changed = true;
+            }
+        }
+        changed
+    }
+    fn transfer(&self, cfg: &Cfg, block: usize, fact: &GuardFact) -> GuardFact {
+        self.walk_block(cfg, block, fact, None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range scans for the cancellation family
+// ---------------------------------------------------------------------------
+
+fn range_blocking(
+    toks: &[Token],
+    range: (usize, usize),
+    params: &BTreeSet<String>,
+    facts_by_name: &BTreeMap<String, FnFacts>,
+) -> Option<String> {
+    for i in range.0..range.1 {
+        if let Some(name) = call_name(toks, i) {
+            if params.contains(name) {
+                continue;
+            }
+            if BLOCKING_SEEDS.contains(&name)
+                || (!primitive_name(name) && facts_by_name.get(name).is_some_and(|f| f.blocking))
+            {
+                return Some(name.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn range_polls(
+    toks: &[Token],
+    range: (usize, usize),
+    params: &BTreeSet<String>,
+    facts_by_name: &BTreeMap<String, FnFacts>,
+) -> bool {
+    for i in range.0..range.1 {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if POLL_MARKERS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if call_name(toks, i).is_some()
+            && !params.contains(&t.text)
+            && !primitive_name(&t.text)
+            && facts_by_name.get(&t.text).is_some_and(|f| f.polls)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// A `while` condition containing a comparison operator bounds the loop by
+/// data, not cancellation — exempt from the responsiveness requirement.
+fn cond_has_comparison(toks: &[Token], range: (usize, usize)) -> bool {
+    for i in range.0..range.1 {
+        let t = &toks[i];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "<" | ">" => return true,
+            "=" | "!" if is_punct(toks, i + 1, "=") => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Result-discard
+// ---------------------------------------------------------------------------
+
+/// The final depth-0 call of an RHS token range; `None` for macro
+/// invocations, bare values, or RHSes that already handle the error with a
+/// depth-0 `?`.
+fn final_call(toks: &[Token], range: (usize, usize)) -> Option<String> {
+    let mut depth = 0i32;
+    let mut last = None;
+    let mut i = range.0;
+    while i < range.1 {
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "?" if depth == 0 => return None,
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && depth == 0 {
+            if is_punct(toks, i + 1, "!") {
+                return None;
+            }
+            if is_punct(toks, i + 1, "(") {
+                last = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    last
+}
+
+/// Token index of the `;` ending the statement whose RHS starts at `from`
+/// (token space, bounded by `limit`).
+fn rhs_semi(toks: &[Token], from: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < limit {
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    limit
+}
+
+fn result_discard(
+    units: &[FileUnit],
+    f: &FnDef,
+    result_fns: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &units[f.file].lexed.tokens;
+    let returns_result = |name: &str| RESULT_METHODS.contains(&name) || result_fns.contains(name);
+    let mut i = f.body.0 + 1;
+    while i < f.body.1 {
+        let t = &toks[i];
+        if !(t.kind == TokenKind::Ident && t.text == "let") {
+            i += 1;
+            continue;
+        }
+        let mut q = i + 1;
+        if toks
+            .get(q)
+            .is_some_and(|x| x.kind == TokenKind::Ident && x.text == "mut")
+        {
+            q += 1;
+        }
+        let Some(name_tok) = toks.get(q).filter(|x| x.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        if name_tok.text == "_" {
+            if !is_punct(toks, q + 1, "=") || is_punct(toks, q + 2, "=") {
+                i += 1;
+                continue;
+            }
+            let semi = rhs_semi(toks, q + 2, f.body.1);
+            if let Some(call) = final_call(toks, (q + 2, semi)) {
+                if returns_result(&call) {
+                    out.push(Violation {
+                        lint: LintId::ResultDiscardAudit,
+                        file: units[f.file].path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`let _ = {call}(…)` discards a Result; handle or propagate the error"
+                        ),
+                    });
+                }
+            }
+            i = semi + 1;
+            continue;
+        }
+        // Named binding: flag a Result-returning call whose binding is
+        // never read afterwards (and is not `_`-prefixed).
+        if name_tok.text.starts_with('_')
+            || !is_punct(toks, q + 1, "=")
+            || is_punct(toks, q + 2, "=")
+        {
+            i += 1;
+            continue;
+        }
+        let semi = rhs_semi(toks, q + 2, f.body.1);
+        if let Some(call) = final_call(toks, (q + 2, semi)) {
+            if returns_result(&call) {
+                let used = (semi + 1..f.body.1)
+                    .any(|j| toks[j].kind == TokenKind::Ident && toks[j].text == name_tok.text);
+                if !used {
+                    out.push(Violation {
+                        lint: LintId::ResultDiscardAudit,
+                        file: units[f.file].path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "Result of `{call}(…)` bound to `{}` but never read; handle the error or prefix with `_`",
+                            name_tok.text
+                        ),
+                    });
+                }
+            }
+        }
+        i = semi + 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle detection over the lock-order graph
+// ---------------------------------------------------------------------------
+
+/// Shortest path `from → to` over the edge set (inclusive of endpoints);
+/// `None` when unreachable. A one-node path means `from == to`.
+fn bfs_path(
+    edges: &BTreeMap<(String, String), EdgeSite>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    if from == to {
+        return Some(vec![from.to_string()]);
+    }
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (u, v) in edges.keys() {
+        adj.entry(u.as_str()).or_default().push(v.as_str());
+    }
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut q = VecDeque::new();
+    q.push_back(from);
+    while let Some(n) = q.pop_front() {
+        for &next in adj.get(n).map(|v| v.as_slice()).unwrap_or(&[]) {
+            if next == from || prev.contains_key(next) {
+                continue;
+            }
+            prev.insert(next, n);
+            if next == to {
+                let mut path = vec![to.to_string()];
+                let mut cur = to;
+                while cur != from {
+                    cur = prev[cur];
+                    path.push(cur.to_string());
+                }
+                path.reverse();
+                return Some(path);
+            }
+            q.push_back(next);
+        }
+    }
+    None
+}
+
+/// Rotates a cycle's node list so the lexicographically smallest node
+/// leads, for deduplication.
+fn canonical_cycle(mut nodes: Vec<String>) -> Vec<String> {
+    let min = nodes
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, n)| n.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    nodes.rotate_left(min);
+    nodes
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+/// Runs all four flow families over the lexed workspace; returns raw
+/// (unsuppressed) violations. The caller merges these with the per-file
+/// lints before applying `allow(...)` directives.
+pub fn analyze(units: &[FileUnit]) -> Vec<Violation> {
+    let depths: Vec<Vec<u32>> = units
+        .iter()
+        .map(|u| cfg::brace_depths(&u.lexed.tokens))
+        .collect();
+    let fns = extract_fns(units);
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    let result_fns: BTreeSet<String> = fns
+        .iter()
+        .filter(|f| f.returns_result)
+        .map(|f| f.name.clone())
+        .collect();
+
+    // Direct per-fn facts. Test fns contribute nothing: test code may
+    // legitimately block, poll nothing, and discard Results.
+    let mut direct: Vec<FnFacts> = Vec::with_capacity(fns.len());
+    for f in &fns {
+        let mut facts = FnFacts::default();
+        if !f.in_test {
+            let toks = &units[f.file].lexed.tokens;
+            for i in f.body.0 + 1..f.body.1 {
+                let t = &toks[i];
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                if POLL_MARKERS.contains(&t.text.as_str()) {
+                    facts.polls = true;
+                }
+                if let Some(name) = call_name(toks, i) {
+                    if f.params.contains(name) {
+                        continue;
+                    }
+                    if !primitive_name(name) && name != f.name {
+                        facts.calls.insert(name.to_string());
+                    }
+                    if BLOCKING_SEEDS.contains(&name) {
+                        facts.blocking = true;
+                    }
+                    if !f.sanctioned {
+                        if ACQUIRE_METHODS.contains(&name) && is_punct(toks, i + 2, ")") {
+                            if let Some(id) = receiver_identity(toks, i) {
+                                facts.locks.insert(id);
+                            }
+                        } else if name == "lock_recovering" {
+                            if let Some(id) = first_arg_identity(toks, i + 1) {
+                                facts.locks.insert(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        direct.push(facts);
+    }
+
+    // Name-keyed transitive closures: blocking / polls / lock sets. Same
+    // names merge (conservative: a call resolves to the union of every
+    // workspace fn with that name).
+    let mut facts_by_name: BTreeMap<String, FnFacts> = BTreeMap::new();
+    for (name, ids) in &by_name {
+        let mut merged = FnFacts::default();
+        for &i in ids {
+            let d = &direct[i];
+            merged.blocking |= d.blocking;
+            merged.polls |= d.polls;
+            merged.locks.extend(d.locks.iter().cloned());
+            merged.calls.extend(d.calls.iter().cloned());
+        }
+        facts_by_name.insert(name.clone(), merged);
+    }
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = facts_by_name.keys().cloned().collect();
+        for name in &names {
+            let callees: Vec<String> = facts_by_name[name].calls.iter().cloned().collect();
+            let mut blocking = facts_by_name[name].blocking;
+            let mut polls = facts_by_name[name].polls;
+            let mut locks = facts_by_name[name].locks.clone();
+            for c in &callees {
+                if let Some(cf) = facts_by_name.get(c) {
+                    blocking |= cf.blocking;
+                    polls |= cf.polls;
+                    locks.extend(cf.locks.iter().cloned());
+                }
+            }
+            let e = facts_by_name.get_mut(name).unwrap();
+            if blocking != e.blocking || polls != e.polls || locks.len() != e.locks.len() {
+                e.blocking = blocking;
+                e.polls = polls;
+                e.locks = locks;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Supervised entry points: workspace fn names inside non-test
+    // `spawn(..)` argument lists, plus everything they transitively call.
+    // `origin` maps each reachable fn to the entry it was reached from.
+    let mut origin: BTreeMap<String, String> = BTreeMap::new();
+    let mut bfs: VecDeque<String> = VecDeque::new();
+    for u in units {
+        let toks = &u.lexed.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind == TokenKind::Ident
+                && t.text == "spawn"
+                && !t.in_test
+                && is_punct(toks, i + 1, "(")
+            {
+                let close = skip_parens(toks, i + 1);
+                for j in i + 2..close {
+                    let tj = &toks[j];
+                    if tj.kind == TokenKind::Ident
+                        && by_name.contains_key(&tj.text)
+                        && !origin.contains_key(&tj.text)
+                    {
+                        origin.insert(tj.text.clone(), tj.text.clone());
+                        bfs.push_back(tj.text.clone());
+                    }
+                }
+            }
+        }
+    }
+    while let Some(n) = bfs.pop_front() {
+        let Some(ff) = facts_by_name.get(&n) else {
+            continue;
+        };
+        let org = origin[&n].clone();
+        for c in ff.calls.clone() {
+            if by_name.contains_key(&c) && !origin.contains_key(&c) {
+                origin.insert(c.clone(), org.clone());
+                bfs.push_back(c);
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut findings = LockFindings::default();
+
+    for f in &fns {
+        if f.in_test || f.sanctioned {
+            continue;
+        }
+        let toks = &units[f.file].lexed.tokens;
+        let graph = cfg::build(toks, f.body);
+        let analysis = GuardAnalysis {
+            toks,
+            depths: &depths[f.file],
+            file: f.file,
+            fn_name: &f.name,
+            params: &f.params,
+            facts_by_name: &facts_by_name,
+        };
+        let facts = dataflow::solve(&graph, &analysis);
+        for b in 0..graph.blocks.len() {
+            analysis.walk_block(&graph, b, &facts[b], Some(&mut findings));
+        }
+
+        // Cancellation responsiveness for loops in supervised fns.
+        if let Some(entry) = origin.get(&f.name) {
+            for lp in &graph.loops {
+                let unbounded = matches!(lp.kind, LoopKind::Loop)
+                    || (matches!(lp.kind, LoopKind::While) && !cond_has_comparison(toks, lp.cond));
+                if !unbounded {
+                    continue;
+                }
+                let Some(blocker) = range_blocking(toks, lp.body, &f.params, &facts_by_name) else {
+                    continue;
+                };
+                if range_polls(toks, lp.cond, &f.params, &facts_by_name)
+                    || range_polls(toks, lp.body, &f.params, &facts_by_name)
+                {
+                    continue;
+                }
+                violations.push(Violation {
+                    lint: LintId::CancellationResponsiveness,
+                    file: units[f.file].path.clone(),
+                    line: lp.line,
+                    col: lp.col,
+                    message: format!(
+                        "unbounded loop in `{}` (supervised via `{entry}`) blocks in `{blocker}` without polling cancellation; check is_cancelled()/stopping each iteration",
+                        f.name
+                    ),
+                });
+            }
+        }
+
+        result_discard(units, f, &result_fns, &mut violations);
+    }
+
+    // Guard-lifetime violations, deduped per (site, guard).
+    let mut seen = BTreeSet::new();
+    for h in &findings.held_across {
+        if seen.insert((h.file, h.line, h.col, h.guard.clone())) {
+            violations.push(Violation {
+                lint: LintId::GuardLifetimeAudit,
+                file: units[h.file].path.clone(),
+                line: h.line,
+                col: h.col,
+                message: format!(
+                    "guard `{}` (lock `{}`) is live across blocking call `{}`; drop it or narrow its scope first",
+                    h.guard, h.lock, h.callee
+                ),
+            });
+        }
+    }
+
+    // Lock-order cycles: every cycle contains some recorded edge, so a
+    // return path for any edge closes one. Canonicalize to dedupe.
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for ((u, v), site) in &findings.edges {
+        let Some(path) = bfs_path(&findings.edges, v, u) else {
+            continue;
+        };
+        // Cycle nodes without repetition: u, then v..path's second-to-last
+        // (path ends at u).
+        let mut nodes = vec![u.clone()];
+        nodes.extend(path[..path.len().saturating_sub(1)].iter().cloned());
+        let canon = canonical_cycle(nodes);
+        if !reported.insert(canon.clone()) {
+            continue;
+        }
+        let display = if canon.len() == 1 {
+            format!("lock `{}` acquired while already held", canon[0])
+        } else {
+            let mut chain = canon.clone();
+            chain.push(canon[0].clone());
+            format!(
+                "lock-order cycle `{}`: inconsistent acquisition order can deadlock",
+                chain.join(" -> ")
+            )
+        };
+        violations.push(Violation {
+            lint: LintId::LockOrderAudit,
+            file: units[site.file].path.clone(),
+            line: site.line,
+            col: site.col,
+            message: display,
+        });
+    }
+
+    // Inline poison-recovery idiom outside the sanctioned sync module.
+    for u in units {
+        if u.path.ends_with(Path::new("spice/src/sync.rs")) {
+            continue;
+        }
+        let toks = &u.lexed.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident || t.text != "unwrap_or_else" || t.in_test {
+                continue;
+            }
+            let closure_ok = is_punct(toks, i + 1, "(")
+                && is_punct(toks, i + 2, "|")
+                && toks.get(i + 3).is_some_and(|x| x.kind == TokenKind::Ident)
+                && is_punct(toks, i + 4, "|")
+                && toks
+                    .get(i + 5)
+                    .is_some_and(|x| x.kind == TokenKind::Ident && x.text == toks[i + 3].text)
+                && is_punct(toks, i + 6, ".")
+                && toks
+                    .get(i + 7)
+                    .is_some_and(|x| x.kind == TokenKind::Ident && x.text == "into_inner")
+                && is_punct(toks, i + 8, "(")
+                && is_punct(toks, i + 9, ")")
+                && is_punct(toks, i + 10, ")");
+            if closure_ok {
+                violations.push(Violation {
+                    lint: LintId::LockOrderAudit,
+                    file: u.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: "inline poisoned-lock recovery; use finrad_spice::sync::lock_recovering (the one sanctioned recovery span)".to_string(),
+                });
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.lint.as_str()).cmp(&(&b.file, b.line, b.col, b.lint.as_str()))
+    });
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn unit(path: &str, src: &str) -> FileUnit {
+        FileUnit {
+            path: PathBuf::from(path),
+            lexed: lex(src),
+        }
+    }
+
+    fn count(vs: &[Violation], id: LintId) -> usize {
+        vs.iter().filter(|v| v.lint == id).count()
+    }
+
+    #[test]
+    fn two_lock_cycle_is_detected() {
+        let src = r#"
+impl S {
+    fn a_then_b(&self) {
+        let ga = self.alpha.lock().unwrap();
+        let gb = self.beta.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+    fn b_then_a(&self) {
+        let gb = self.beta.lock().unwrap();
+        let ga = self.alpha.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::LockOrderAudit), 1, "{vs:?}");
+        assert!(vs[0].message.contains("alpha"), "{}", vs[0].message);
+        assert!(vs[0].message.contains("beta"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = r#"
+impl S {
+    fn first(&self) {
+        let ga = self.alpha.lock().unwrap();
+        let gb = self.beta.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+    fn second(&self) {
+        let ga = self.alpha.lock().unwrap();
+        let gb = self.beta.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::LockOrderAudit), 0, "{vs:?}");
+    }
+
+    #[test]
+    fn guard_across_blocking_call_is_flagged() {
+        let src = r#"
+impl S {
+    fn hold(&self) {
+        let g = self.state.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(g);
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::GuardLifetimeAudit), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn guard_dropped_before_blocking_call_is_clean() {
+        let src = r#"
+impl S {
+    fn ok(&self) {
+        let g = self.state.lock().unwrap();
+        drop(g);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    fn scoped(&self) {
+        {
+            let g = self.state.lock().unwrap();
+            g.touch();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::GuardLifetimeAudit), 0, "{vs:?}");
+    }
+
+    #[test]
+    fn condvar_wait_consuming_the_guard_is_exempt() {
+        let src = r#"
+impl S {
+    fn wait_ready(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.ready() {
+            st = self.cv.wait(st).unwrap();
+        }
+        drop(st);
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::GuardLifetimeAudit), 0, "{vs:?}");
+    }
+
+    #[test]
+    fn unpolled_blocking_supervised_loop_is_flagged() {
+        let src = r#"
+fn boot() {
+    std::thread::spawn(|| pump());
+}
+fn pump() {
+    loop {
+        step_blocking();
+    }
+}
+fn step_blocking() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::CancellationResponsiveness), 1, "{vs:?}");
+        assert!(vs
+            .iter()
+            .any(|v| v.message.contains("pump") && v.message.contains("step_blocking")));
+    }
+
+    #[test]
+    fn polled_supervised_loop_is_clean() {
+        let src = r#"
+fn boot() {
+    std::thread::spawn(|| pump());
+}
+fn pump() {
+    loop {
+        if token.is_cancelled() {
+            break;
+        }
+        step_blocking();
+    }
+}
+fn step_blocking() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::CancellationResponsiveness), 0, "{vs:?}");
+    }
+
+    #[test]
+    fn unsupervised_blocking_loop_is_not_flagged() {
+        let src = r#"
+fn pump() {
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::CancellationResponsiveness), 0, "{vs:?}");
+    }
+
+    #[test]
+    fn discarded_and_unused_results_are_flagged() {
+        let src = r#"
+fn produce() -> Result<u32, String> {
+    Ok(1)
+}
+fn caller() {
+    let _ = produce();
+    let outcome = produce();
+    let used = produce();
+    if used.is_ok() {
+        work();
+    }
+}
+fn work() {}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::ResultDiscardAudit), 2, "{vs:?}");
+    }
+
+    #[test]
+    fn question_mark_and_underscore_prefix_are_clean() {
+        let src = r#"
+fn produce() -> Result<u32, String> {
+    Ok(1)
+}
+fn caller() -> Result<(), String> {
+    let value = produce().map_err(|e| e)?;
+    let _ignored = produce();
+    let _ = format!("{value}");
+    Ok(())
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::ResultDiscardAudit), 0, "{vs:?}");
+    }
+
+    #[test]
+    fn inline_poison_recovery_is_flagged_outside_sync_module() {
+        let src = r#"
+impl S {
+    fn recover(&self) {
+        let g = self.m.lock().unwrap_or_else(|p| p.into_inner());
+        drop(g);
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::LockOrderAudit), 1, "{vs:?}");
+        assert!(vs[0].message.contains("lock_recovering"));
+        // The same tokens inside the sanctioned module are fine.
+        let vs = analyze(&[unit("crates/spice/src/sync.rs", src)]);
+        assert_eq!(count(&vs, LintId::LockOrderAudit), 0, "{vs:?}");
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_helper_is_detected() {
+        let src = r#"
+impl S {
+    fn helper(&self) {
+        let g = self.beta.lock().unwrap();
+        drop(g);
+    }
+    fn outer(&self) {
+        let ga = self.alpha.lock().unwrap();
+        self.helper();
+        drop(ga);
+    }
+    fn reverse(&self) {
+        let gb = self.beta.lock().unwrap();
+        let ga = self.alpha.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#;
+        let vs = analyze(&[unit("crates/core/src/fake.rs", src)]);
+        assert_eq!(count(&vs, LintId::LockOrderAudit), 1, "{vs:?}");
+    }
+}

@@ -180,34 +180,45 @@ impl Lexer<'_> {
         while let Some(c) = self.bump() {
             match c {
                 '"' => break,
-                '\\' => match self.bump() {
-                    Some('n') => out.push('\n'),
-                    Some('t') => out.push('\t'),
-                    Some('r') => out.push('\r'),
-                    Some('0') => out.push('\0'),
-                    Some('u') => {
-                        // \u{XXXX}
-                        let mut hex = String::new();
-                        if self.peek(0) == Some('{') {
-                            self.bump();
-                            while self.peek(0).is_some_and(|c| c != '}') {
-                                hex.push(self.bump().unwrap_or(' '));
-                            }
-                            self.bump();
-                        }
-                        let decoded = u32::from_str_radix(&hex, 16)
-                            .ok()
-                            .and_then(char::from_u32)
-                            .unwrap_or('\u{fffd}');
-                        out.push(decoded);
+                '\\' => {
+                    if !self.decode_escape(&mut out) {
+                        break;
                     }
-                    Some(other) => out.push(other),
-                    None => break,
-                },
+                }
                 _ => out.push(c),
             }
         }
         out
+    }
+
+    /// Decodes one escape sequence (the `\` already consumed) into `out`.
+    /// Returns false at end of input.
+    fn decode_escape(&mut self, out: &mut String) -> bool {
+        match self.bump() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('u') => {
+                // \u{XXXX}
+                let mut hex = String::new();
+                if self.peek(0) == Some('{') {
+                    self.bump();
+                    while self.peek(0).is_some_and(|c| c != '}') {
+                        hex.push(self.bump().unwrap_or(' '));
+                    }
+                    self.bump();
+                }
+                let decoded = u32::from_str_radix(&hex, 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .unwrap_or('\u{fffd}');
+                out.push(decoded);
+            }
+            Some(other) => out.push(other),
+            None => return false,
+        }
+        true
     }
 
     fn is_raw_string_start(&self) -> bool {
@@ -265,11 +276,14 @@ impl Lexer<'_> {
                 if c == '\'' {
                     break;
                 }
-                text.push(c);
                 if c == '\\' {
-                    if let Some(esc) = self.bump() {
-                        text.push(esc);
+                    // Decode escapes like string bodies do, so `'\''` and
+                    // `'\\'` carry their actual character values.
+                    if !self.decode_escape(&mut text) {
+                        break;
                     }
+                } else {
+                    text.push(c);
                 }
             }
             self.push(TokenKind::Char, text, line, col);
@@ -451,6 +465,107 @@ mod tests {
         let lib = lexed.tokens.iter().find(|t| t.text == "lib").unwrap();
         let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
         assert!(!lib.in_test && !after.in_test);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_lex() {
+        // The terminator must match the opening hash count exactly: `"#`
+        // inside an `r##"…"##` body is content, not an end.
+        let lexed = lex("let a = r##\"quote \"# inside\"##; done();");
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        assert_eq!(s.text, "quote \"# inside");
+        assert!(lexed.tokens.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn zero_hash_raw_strings_lex() {
+        let lexed = lex("let a = r\"no \\n escapes\";");
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        // Raw: the backslash survives undecoded.
+        assert_eq!(s.text, "no \\n escapes");
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_spans() {
+        let lexed = lex("let a = r#\"line one\nline two\"#;\nafter();\n");
+        let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
+        // The raw string spans one newline, so `after` is on line 3.
+        assert_eq!((after.line, after.col), (3, 1));
+    }
+
+    #[test]
+    fn escaped_quote_char_is_a_char() {
+        let lexed = lex(r"let q = '\''; let b = '\\';");
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'".to_string(), "\\".into()]);
+    }
+
+    #[test]
+    fn loop_labels_lex_as_lifetimes() {
+        // CFG construction depends on `'outer: loop` / `break 'outer` not
+        // swallowing the following token as a char body.
+        let lexed = lex("'outer: loop { break 'outer; }");
+        let labels: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(labels, vec!["outer".to_string(), "outer".into()]);
+        assert!(lexed.tokens.iter().any(|t| t.text == "break"));
+    }
+
+    #[test]
+    fn nested_block_comments_hide_their_contents() {
+        // Forbidden-looking text inside a nested comment must not reach
+        // the token stream (the lint families scan tokens, not bytes).
+        let src = "a /* x /* thread_rng() .unwrap() */ still /* deeper */ hidden */ b";
+        assert_eq!(texts(src), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn forbidden_text_inside_literals_stays_literal() {
+        let src = "let s = r#\"cfg.lock().unwrap() /* unclosed\"#; let c = '{';";
+        let lexed = lex(src);
+        // `unwrap` appears only inside the raw string: no Ident token.
+        assert!(!lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        // The `{` char literal must not unbalance brace tracking: it is a
+        // Char token, not punct.
+        let c = lexed
+            .tokens
+            .iter()
+            .rfind(|t| t.kind == TokenKind::Char)
+            .unwrap();
+        assert_eq!(c.text, "{");
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_start_raw_strings() {
+        let lexed = lex("let r#type = 1; r#match(r#type);");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Str));
+        let idents: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(idents.contains(&"type".to_string()) || idents.contains(&"r".to_string()));
     }
 
     #[test]

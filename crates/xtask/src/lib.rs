@@ -1,10 +1,11 @@
 //! Workspace automation for the `finrad` repo — chiefly `cargo xtask lint`,
 //! a dependency-free static-analysis gate over every workspace `.rs` source.
 //!
-//! The gate runs in two phases. Phase 1 builds a [`index::WorkspaceIndex`]
-//! from three anchor files (the metric-key registry, the sanctioned RNG
-//! seed-derivation helpers, and the checkpoint codec). Phase 2 lints every
-//! file against ten families (see [`lints`]):
+//! The gate runs in three phases. Phase 1 builds a
+//! [`index::WorkspaceIndex`] from three anchor files (the metric-key
+//! registry, the sanctioned RNG seed-derivation helpers, and the checkpoint
+//! codec). Phase 2 lints every file against ten per-file families (see
+//! [`lints`]):
 //!
 //! * `unit-safety` — public physics APIs must use `finrad-units` quantity
 //!   types, not bare `f64`, for dimensioned *parameters*. (Return types
@@ -28,6 +29,21 @@
 //!   a `CHECKPOINT_VERSION` bump (fingerprint pinned in the baseline).
 //! * `unused-suppression` — `allow(...)` directives must still fire.
 //!
+//! Phase 3 runs the flow-sensitive concurrency families (see [`flow`]),
+//! which build a control-flow graph per function ([`cfg`]), solve a
+//! forward dataflow problem over it ([`dataflow`]), and reason across
+//! files through a name-keyed function index:
+//!
+//! * `lock-order-audit` — cycles in the workspace lock-acquisition graph
+//!   (potential deadlocks), plus inline poisoned-lock recovery outside the
+//!   sanctioned `finrad_spice::sync` module.
+//! * `guard-lifetime-audit` — lock guards provably live across blocking
+//!   calls (solves, condvar waits on other guards, joins, checkpoint I/O).
+//! * `cancellation-responsiveness` — blocking unbounded loops reachable
+//!   from supervised `spawn` entry points must poll cancellation.
+//! * `result-discard-audit` — `Result`s from workspace functions discarded
+//!   via `let _ = …` or bound but never read.
+//!
 //! Known debt is budgeted in `xtask/lint-baseline.toml` (see [`baseline`]);
 //! individual sites are suppressed with `// finrad-lint: allow(<id>)`. The
 //! full policy lives in `docs/static-analysis.md`.
@@ -37,11 +53,15 @@
 
 pub mod baseline;
 pub mod bench;
+pub mod cfg;
+pub mod dataflow;
+pub mod flow;
 pub mod index;
 pub mod json;
 pub mod lexer;
 pub mod lints;
 pub mod report;
+pub mod sarif;
 pub mod source;
 
 use std::io;
@@ -78,9 +98,9 @@ pub fn lint_file_source_with_index(
 pub struct ScanResult {
     /// Number of `.rs` files linted.
     pub files_scanned: usize,
-    /// All per-file violations, ordered by (file, line, col). The
-    /// workspace-level `checkpoint-schema-drift` check is *not* included —
-    /// it needs the baseline, so the caller runs
+    /// All per-file *and* flow-family violations, ordered by (file, line,
+    /// col). The workspace-level `checkpoint-schema-drift` check is *not*
+    /// included — it needs the baseline, so the caller runs
     /// [`lints::checkpoint_drift`] against `index`.
     pub violations: Vec<Violation>,
     /// The phase-1 symbol index the lints ran against.
@@ -119,15 +139,40 @@ pub fn scan_tree(root: &Path) -> io::Result<ScanResult> {
     }
     files.sort();
 
-    let mut violations = Vec::new();
+    // Pass 1: lex + scrub everything, collect raw per-file violations.
+    let mut units: Vec<flow::FileUnit> = Vec::with_capacity(files.len());
+    let mut scrubbed: Vec<source::ScrubbedSource> = Vec::with_capacity(files.len());
+    let mut raw: Vec<Vec<Violation>> = Vec::with_capacity(files.len());
     for (path, unit_safety) in &files {
         let text = std::fs::read_to_string(path)?;
-        let rel = path.strip_prefix(root).unwrap_or(path);
-        violations.extend(lint_file_source_with_index(
-            rel,
-            &text,
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        let src = source::scrub(&text);
+        let lexed = lexer::lex(&text);
+        raw.push(lints::lint_file_raw(
+            &rel,
+            &src,
+            &lexed,
             *unit_safety,
-            &index,
+            Some(&index),
+        ));
+        scrubbed.push(src);
+        units.push(flow::FileUnit { path: rel, lexed });
+    }
+
+    // Pass 2: the whole-workspace flow families, merged into the owning
+    // file's raw list so `allow(...)` directives apply uniformly.
+    for v in flow::analyze(&units) {
+        if let Some(i) = units.iter().position(|u| u.path == v.file) {
+            raw[i].push(v);
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (i, u) in units.iter().enumerate() {
+        violations.extend(lints::apply_suppressions(
+            &u.path,
+            &scrubbed[i],
+            std::mem::take(&mut raw[i]),
         ));
     }
     violations.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));

@@ -52,6 +52,19 @@ pub enum LintId {
     CheckpointSchemaDrift,
     /// An `allow(...)` directive that no longer suppresses anything.
     UnusedSuppression,
+    /// A cycle in the workspace lock-acquisition-order graph (potential
+    /// deadlock), or the inline poisoned-lock recovery idiom outside the
+    /// sanctioned `finrad_spice::sync` helpers.
+    LockOrderAudit,
+    /// A `MutexGuard` provably live across a blocking call (SPICE solve,
+    /// `Condvar` wait on a different lock, `JoinHandle::join`, checkpoint
+    /// I/O).
+    GuardLifetimeAudit,
+    /// A blocking loop reachable from a supervised job entry point that
+    /// never polls its cancellation token.
+    CancellationResponsiveness,
+    /// A `Result` silently dropped via `let _ =` or an unused binding.
+    ResultDiscardAudit,
 }
 
 impl LintId {
@@ -69,12 +82,16 @@ impl LintId {
             LintId::SharedStateAudit => "shared-state-audit",
             LintId::CheckpointSchemaDrift => "checkpoint-schema-drift",
             LintId::UnusedSuppression => "unused-suppression",
+            LintId::LockOrderAudit => "lock-order-audit",
+            LintId::GuardLifetimeAudit => "guard-lifetime-audit",
+            LintId::CancellationResponsiveness => "cancellation-responsiveness",
+            LintId::ResultDiscardAudit => "result-discard-audit",
         }
     }
 
     /// Whether violations of this family may be parked in the ratchet
-    /// baseline. Determinism breaks, schema drift, and stale suppressions
-    /// must be fixed, never budgeted.
+    /// baseline. Determinism breaks, schema drift, stale suppressions, and
+    /// potential deadlocks must be fixed, never budgeted.
     pub fn baselineable(self) -> bool {
         !matches!(
             self,
@@ -82,11 +99,12 @@ impl LintId {
                 | LintId::RawEscapeAudit
                 | LintId::CheckpointSchemaDrift
                 | LintId::UnusedSuppression
+                | LintId::LockOrderAudit
         )
     }
 
     /// Every lint family, in reporting order.
-    pub const ALL: [LintId; 10] = [
+    pub const ALL: [LintId; 14] = [
         LintId::UnitSafety,
         LintId::RawEscapeAudit,
         LintId::RngDeterminism,
@@ -97,6 +115,10 @@ impl LintId {
         LintId::SharedStateAudit,
         LintId::CheckpointSchemaDrift,
         LintId::UnusedSuppression,
+        LintId::LockOrderAudit,
+        LintId::GuardLifetimeAudit,
+        LintId::CancellationResponsiveness,
+        LintId::ResultDiscardAudit,
     ];
 }
 
@@ -161,6 +183,24 @@ pub fn lint_file(
     unit_safety: bool,
     index: Option<&WorkspaceIndex>,
 ) -> Vec<Violation> {
+    let out = lint_file_raw(path, src, lexed, unit_safety, index);
+    let mut out = apply_suppressions(path, src, out);
+    out.sort_by_key(|v| (v.line, v.col, v.lint));
+    out
+}
+
+/// Like [`lint_file`] but *without* applying suppression directives.
+/// [`crate::scan_tree`] uses this so the workspace-level flow families
+/// ([`crate::flow`]) can merge their violations in first — an allow
+/// directive covering a flow finding must count as *used* by the
+/// unused-suppression audit.
+pub fn lint_file_raw(
+    path: &Path,
+    src: &ScrubbedSource,
+    lexed: &LexedFile,
+    unit_safety: bool,
+    index: Option<&WorkspaceIndex>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     if unit_safety {
         lint_unit_safety(path, src, &mut out);
@@ -174,8 +214,6 @@ pub fn lint_file(
     }
     lint_seed_discipline(path, lexed, index, &mut out);
     lint_shared_state(path, lexed, &mut out);
-    let mut out = apply_suppressions(path, src, out);
-    out.sort_by_key(|v| (v.line, v.col, v.lint));
     out
 }
 

@@ -6,7 +6,10 @@
 //! cargo xtask lint --fix-allowlist    # rewrite xtask/lint-baseline.toml
 //! cargo xtask lint --json <path|->    # write the JSON report to a file/stdout
 //! cargo xtask lint --format json      # pure JSON on stdout, human notes on stderr
-//! cargo xtask lint --check-report <p> # schema-validate an existing JSON report
+//! cargo xtask lint --format sarif     # SARIF 2.1.0 on stdout, human notes on stderr
+//! cargo xtask lint --sarif <path>     # write the SARIF document to a file
+//! cargo xtask lint --diff-base <p>    # fail only on diagnostics absent from a prior report
+//! cargo xtask lint --check-report <p> # schema-validate a JSON or SARIF report
 //! cargo xtask lint --max <lint>=<N>   # fail when a class's total exceeds N
 //! cargo xtask bench                   # write BENCH_<n>.json trajectory file
 //! cargo xtask bench --smoke           # fast CI variant (25 ms/bench budget)
@@ -41,7 +44,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: cargo xtask lint [--deny-all] [--fix-allowlist] [--json <path|->] \
-[--format json] [--check-report <path>] [--max <lint>=<N>]\n       \
+[--format json|sarif] [--sarif <path>] [--diff-base <report.json>] [--check-report <path>] \
+[--max <lint>=<N>]\n       \
 cargo xtask bench [--smoke] [--out <path>] [--check <path>] [--require-counter <key>]";
 
 const BENCH_USAGE: &str = "usage: cargo xtask bench [--smoke] [--out <path>] [--check <path>] \
@@ -223,6 +227,9 @@ fn lint_command(args: &[String]) -> ExitCode {
     let mut fix_allowlist = false;
     let mut json_target: Option<String> = None;
     let mut format_json = false;
+    let mut format_sarif = false;
+    let mut sarif_target: Option<PathBuf> = None;
+    let mut diff_base: Option<PathBuf> = None;
     let mut check_report: Option<PathBuf> = None;
     let mut max_caps: Vec<(LintId, usize)> = Vec::new();
     let mut it = args.iter();
@@ -239,8 +246,23 @@ fn lint_command(args: &[String]) -> ExitCode {
             },
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => format_json = true,
+                Some("sarif") => format_sarif = true,
                 _ => {
-                    eprintln!("--format supports only `json`\n{USAGE}");
+                    eprintln!("--format supports `json` or `sarif`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sarif" => match it.next() {
+                Some(path) => sarif_target = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--sarif needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--diff-base" => match it.next() {
+                Some(path) => diff_base = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--diff-base needs the path of a prior JSON report\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -273,13 +295,22 @@ fn lint_command(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let problems = report::validate(&text);
+        // Auto-detect the dialect: a SARIF document has a `runs` array at
+        // the root, the native report does not.
+        let is_sarif = xtask::json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.as_object().map(|o| o.get("runs").is_some()))
+            .unwrap_or(false);
+        let (problems, dialect) = if is_sarif {
+            (xtask::sarif::validate(&text), "SARIF 2.1.0".to_string())
+        } else {
+            (
+                report::validate(&text),
+                format!("{} report", report::REPORT_SCHEMA),
+            )
+        };
         if problems.is_empty() {
-            println!(
-                "{}: schema-valid {} report",
-                path.display(),
-                report::REPORT_SCHEMA
-            );
+            println!("{}: schema-valid {dialect}", path.display());
             return ExitCode::SUCCESS;
         }
         for p in &problems {
@@ -288,9 +319,9 @@ fn lint_command(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // With pure-JSON stdout requested, human output moves to stderr so the
-    // document stays machine-parseable.
-    let human_to_stderr = format_json || json_target.as_deref() == Some("-");
+    // With a machine format on stdout requested, human output moves to
+    // stderr so the document stays parseable.
+    let human_to_stderr = format_json || format_sarif || json_target.as_deref() == Some("-");
     macro_rules! human {
         ($($t:tt)*) => {
             if human_to_stderr {
@@ -383,7 +414,33 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     }
 
-    let pass = check.new_violations.is_empty()
+    // Differential mode: diagnostics recorded in the base report no longer
+    // gate the run — only genuinely new ones do. The emitted JSON/SARIF
+    // documents are unchanged (they describe the full tree, not the diff),
+    // so a passing differential run still archives the complete picture.
+    let (fresh, absorbed) = match &diff_base {
+        None => (check.new_violations.clone(), Vec::new()),
+        Some(path) => {
+            let base_text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: cannot read --diff-base {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match report::diff_new(&check.new_violations, &base_text) {
+                Ok(split) => split,
+                Err(problems) => {
+                    for p in &problems {
+                        eprintln!("error: --diff-base {}: {p}", path.display());
+                    }
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let pass = fresh.is_empty()
         && !stale_fatal
         && forbidden_in_baseline.is_empty()
         && cap_breaches.is_empty();
@@ -409,10 +466,35 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     }
 
+    if format_sarif || sarif_target.is_some() {
+        let sarif = xtask::sarif::to_sarif(&check);
+        // Self-check, same policy as the native report: never emit a
+        // document the schema gate would reject.
+        let sarif_problems = xtask::sarif::validate(&sarif);
+        if !sarif_problems.is_empty() {
+            for p in &sarif_problems {
+                eprintln!("error: composed SARIF fails its own schema: {p}");
+            }
+            return ExitCode::from(2);
+        }
+        if format_sarif {
+            let _ = std::io::stdout().write_all(sarif.as_bytes());
+        }
+        if let Some(target) = &sarif_target {
+            if let Err(e) = std::fs::write(target, &sarif) {
+                eprintln!("error: cannot write SARIF to {}: {e}", target.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     for v in &check.budgeted {
         human!("note(baselined): {v}");
     }
-    for v in &check.new_violations {
+    for v in &absorbed {
+        human!("note(diff-base): {v}");
+    }
+    for v in &fresh {
         human!("error: {v}");
     }
     for (id, file, budget, observed) in &check.stale {
@@ -438,11 +520,16 @@ fn lint_command(args: &[String]) -> ExitCode {
     }
 
     human!(
-        "lint: {} file(s), {} new violation(s), {} baselined, {} stale budget(s){}",
+        "lint: {} file(s), {} new violation(s), {} baselined, {} stale budget(s){}{}",
         scan.files_scanned,
-        check.new_violations.len(),
+        fresh.len(),
         check.budgeted.len(),
         check.stale.len(),
+        if diff_base.is_some() {
+            format!(" [diff-base: {} absorbed]", absorbed.len())
+        } else {
+            String::new()
+        },
         if deny_all { " [deny-all]" } else { "" }
     );
 

@@ -12,7 +12,7 @@ use crate::lints::LintId;
 
 /// Schema identifier of the report format. Bump the `/N` suffix on any
 /// field change.
-pub const REPORT_SCHEMA: &str = "finrad-lint-report/2";
+pub const REPORT_SCHEMA: &str = "finrad-lint-report/3";
 
 /// Diagnostic severity: over-budget violations are `error`, baselined ones
 /// are `note`.
@@ -20,11 +20,12 @@ const LEVELS: [&str; 2] = ["error", "note"];
 
 /// Serializes the outcome of a lint run as a JSON document.
 ///
-/// Schema (`finrad-lint-report/2`):
+/// Schema (`finrad-lint-report/3` — `/3` widened `counts` to the four
+/// flow-sensitive concurrency families):
 ///
 /// ```json
 /// {
-///   "schema": "finrad-lint-report/2",
+///   "schema": "finrad-lint-report/3",
 ///   "files_scanned": 42,
 ///   "pass": true,
 ///   "counts": {"unit-safety": 0, "rng-determinism": 0, ...},
@@ -36,7 +37,7 @@ const LEVELS: [&str; 2] = ["error", "note"];
 /// }
 /// ```
 ///
-/// `counts` has one member per lint family (all nine, zero included);
+/// `counts` has one member per lint family (all fourteen, zero included);
 /// `diagnostics` holds over-budget violations (`"level": "error"`) followed
 /// by baselined ones (`"level": "note"`), each ordered by (file, line, col).
 pub fn to_json(files_scanned: usize, pass: bool, check: &BaselineCheck) -> String {
@@ -104,7 +105,7 @@ pub fn to_json(files_scanned: usize, pass: bool, check: &BaselineCheck) -> Strin
     out
 }
 
-/// Validates `text` against the `finrad-lint-report/2` schema using the
+/// Validates `text` against the `finrad-lint-report/3` schema using the
 /// in-tree JSON parser. Returns the list of problems (empty = valid).
 pub fn validate(text: &str) -> Vec<String> {
     let mut problems = Vec::new();
@@ -190,8 +191,68 @@ pub fn validate(text: &str) -> Vec<String> {
     problems
 }
 
-/// Escapes `s` as a JSON string literal.
-fn json_string(s: &str) -> String {
+/// Differential mode (`cargo xtask lint --diff-base <report.json>`): splits
+/// `current` into (fresh, absorbed) against the diagnostics recorded in a
+/// prior report. Matching is keyed on (lint, file, message) — not line — so
+/// unrelated edits that shift code don't resurrect known findings; it is
+/// multiplicity-aware, so a *second* occurrence of an already-known
+/// diagnostic still counts as fresh.
+///
+/// Returns `Err` when `base_text` fails [`validate`] — a differential gate
+/// against a malformed base would silently pass everything.
+pub fn diff_new(
+    current: &[crate::lints::Violation],
+    base_text: &str,
+) -> Result<(Vec<crate::lints::Violation>, Vec<crate::lints::Violation>), Vec<String>> {
+    let problems = validate(base_text);
+    if !problems.is_empty() {
+        return Err(problems);
+    }
+    // validate() guarantees the shape below, so the unwraps cannot fire.
+    let doc = crate::json::parse(base_text).map_err(|e| vec![e.to_string()])?;
+    let mut known: std::collections::BTreeMap<(String, String, String), usize> =
+        std::collections::BTreeMap::new();
+    if let Some(diags) = doc.get("diagnostics").and_then(|v| v.as_array()) {
+        for d in diags {
+            let key = (
+                d.get("lint")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+                d.get("file")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+                d.get("message")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+            );
+            *known.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    let mut fresh = Vec::new();
+    let mut absorbed = Vec::new();
+    for v in current {
+        let key = (
+            v.lint.as_str().to_string(),
+            v.file.display().to_string(),
+            v.message.clone(),
+        );
+        match known.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                absorbed.push(v.clone());
+            }
+            _ => fresh.push(v.clone()),
+        }
+    }
+    Ok((fresh, absorbed))
+}
+
+/// Escapes `s` as a JSON string literal (shared with [`crate::sarif`]).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -263,6 +324,51 @@ mod tests {
         let doc = crate::json::parse(&json).unwrap();
         let counts = doc.get("counts").and_then(|v| v.as_object()).unwrap();
         assert_eq!(counts.len(), LintId::ALL.len());
+    }
+
+    #[test]
+    fn diff_of_a_report_against_itself_is_empty() {
+        let check = sample_check();
+        let json = to_json(7, false, &check);
+        let current: Vec<Violation> = check
+            .new_violations
+            .iter()
+            .chain(&check.budgeted)
+            .cloned()
+            .collect();
+        let (fresh, absorbed) = diff_new(&current, &json).expect("valid base");
+        assert!(fresh.is_empty(), "{fresh:?}");
+        assert_eq!(absorbed.len(), current.len());
+    }
+
+    #[test]
+    fn diff_is_line_insensitive_but_multiplicity_aware() {
+        let check = sample_check();
+        let json = to_json(7, false, &check);
+        // Same diagnostic, shifted by an unrelated edit: absorbed.
+        let mut moved = check.new_violations[0].clone();
+        moved.line += 40;
+        // A second copy of it: fresh (the base records only one).
+        let (fresh, absorbed) = diff_new(&[moved.clone(), moved], &json).expect("valid base");
+        assert_eq!(absorbed.len(), 1);
+        assert_eq!(fresh.len(), 1);
+        // A genuinely new diagnostic is fresh.
+        let novel = Violation {
+            lint: LintId::RngDeterminism,
+            file: PathBuf::from("d.rs"),
+            line: 1,
+            col: 1,
+            message: "entropy".to_string(),
+        };
+        let (fresh, absorbed) = diff_new(&[novel], &json).expect("valid base");
+        assert!(absorbed.is_empty());
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn diff_rejects_a_malformed_base() {
+        assert!(diff_new(&[], "not json").is_err());
+        assert!(diff_new(&[], "{}").is_err());
     }
 
     #[test]

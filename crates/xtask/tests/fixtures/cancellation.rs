@@ -1,0 +1,34 @@
+//! Seeded fixture: `cancellation-responsiveness`. `pump` is reachable from
+//! a `spawn` entry point and blocks forever without polling — it must
+//! fire. `polled_pump` checks its token each iteration; `standalone` is
+//! never spawned; both must stay clean.
+
+pub fn boot(token: CancelToken) {
+    std::thread::spawn(move || pump());
+    std::thread::spawn(move || polled_pump(token));
+}
+
+fn pump() {
+    loop {
+        step_blocking();
+    }
+}
+
+fn polled_pump(token: CancelToken) {
+    loop {
+        if token.is_cancelled() {
+            break;
+        }
+        step_blocking();
+    }
+}
+
+fn standalone() {
+    loop {
+        step_blocking();
+    }
+}
+
+fn step_blocking() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,39 @@
+//! Seeded fixture: `guard-lifetime-audit`. `held_across_sleep` keeps the
+//! state guard live over a blocking call and must fire; the other three
+//! shapes (explicit drop, inner scope, condvar wait that consumes the
+//! guard) are the sanctioned patterns and must stay clean.
+
+pub struct Store {
+    state: std::sync::Mutex<u32>,
+    cv: std::sync::Condvar,
+}
+
+impl Store {
+    pub fn held_across_sleep(&self) {
+        let g = self.state.lock().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(g);
+    }
+
+    pub fn dropped_first(&self) {
+        let g = self.state.lock().unwrap();
+        drop(g);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    pub fn scoped(&self) {
+        {
+            let g = self.state.lock().unwrap();
+            g.touch();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    pub fn wait_consumes(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.ready() {
+            st = self.cv.wait(st).unwrap();
+        }
+        drop(st);
+    }
+}

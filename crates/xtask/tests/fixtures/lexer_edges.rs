@@ -1,0 +1,16 @@
+//! Lexer edge cases that must stay clean through the full lint pipeline:
+//! raw strings with hashes, escaped quotes and control characters, and
+//! nested block comments — none of the `unwrap()`/`panic!` text below is
+//! code.
+
+/* outer /* nested */ block comment mentioning "unwrap()" and panic! */
+
+pub fn edge_cases() -> String {
+    let raw = r#"contains "unwrap()" and panic! text"#;
+    let hashes = r##"raw with "# inside"##;
+    let escaped = "quote \" backslash \\ newline \n";
+    let quote_char = '\'';
+    let nul = '\0';
+    let tab = '\t';
+    format!("{raw}{hashes}{escaped}{quote_char}{nul}{tab}")
+}

@@ -1,0 +1,40 @@
+//! Seeded fixture: `lock-order-audit`. `a_then_b` and `b_then_a` acquire
+//! the same two locks in opposite orders — the classic deadlock shape the
+//! cycle detector must catch. `consistent_first`/`consistent_second` take
+//! alpha before gamma in both callers and must stay clean.
+
+pub struct Pools {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+    gamma: std::sync::Mutex<u32>,
+}
+
+impl Pools {
+    pub fn a_then_b(&self) {
+        let ga = self.alpha.lock().unwrap();
+        let gb = self.beta.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn b_then_a(&self) {
+        let gb = self.beta.lock().unwrap();
+        let ga = self.alpha.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+
+    pub fn consistent_first(&self) {
+        let ga = self.alpha.lock().unwrap();
+        let gc = self.gamma.lock().unwrap();
+        drop(gc);
+        drop(ga);
+    }
+
+    pub fn consistent_second(&self) {
+        let ga = self.alpha.lock().unwrap();
+        let gc = self.gamma.lock().unwrap();
+        drop(gc);
+        drop(ga);
+    }
+}

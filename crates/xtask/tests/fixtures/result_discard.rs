@@ -1,0 +1,19 @@
+//! Seeded fixture: `result-discard-audit`. The `let _ =` drop and the
+//! never-read `outcome` binding must fire; the propagated (`?`),
+//! `_`-prefixed, genuinely-read, and macro-RHS shapes must stay clean.
+
+fn produce() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub fn caller() -> Result<(), String> {
+    let _ = produce();
+    let outcome = produce();
+    let used = produce();
+    if used.is_ok() {
+        let value = produce().map_err(|e| e)?;
+        let _ignored = produce();
+        let _ = format!("{value}");
+    }
+    Ok(())
+}

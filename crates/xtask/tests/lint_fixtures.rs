@@ -2,8 +2,9 @@
 //! family fires with the right ID at the right (line, col) span, allow()
 //! suppresses (and unused allows are flagged), and clean code stays clean.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use xtask::flow::FileUnit;
 use xtask::index::{self, WorkspaceIndex};
 use xtask::lints::{self, LintId, Violation};
 
@@ -31,6 +32,20 @@ fn lint_fixture_indexed(name: &str) -> (Vec<Violation>, WorkspaceIndex) {
     let index = index::build(workspace_root()).expect("index build");
     let v = xtask::lint_file_source_with_index(Path::new(name), &read_fixture(name), true, &index);
     (v, index)
+}
+
+/// Runs the flow-sensitive (phase-3) families over one fixture, through
+/// the same suppression pass `scan_tree` applies — so `allow(...)`
+/// directives in flow fixtures behave exactly as they do in real code.
+fn flow_fixture(name: &str) -> Vec<Violation> {
+    let text = read_fixture(name);
+    let unit = FileUnit {
+        path: PathBuf::from("crates/core/src").join(name),
+        lexed: xtask::lexer::lex(&text),
+    };
+    let scrubbed = xtask::source::scrub(&text);
+    let raw = xtask::flow::analyze(std::slice::from_ref(&unit));
+    lints::apply_suppressions(&unit.path, &scrubbed, raw)
 }
 
 #[test]
@@ -177,6 +192,84 @@ fn unused_suppression_fixture() {
 }
 
 #[test]
+fn lock_order_fixture() {
+    let v = flow_fixture("lock_order.rs");
+    // Exactly the seeded alpha/beta cycle; the consistent alpha->gamma pair
+    // must not fire, and no other family may piggy-back on this fixture.
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::LockOrderAudit);
+    assert!(v[0].message.contains("alpha"), "{}", v[0].message);
+    assert!(v[0].message.contains("beta"), "{}", v[0].message);
+    assert!(v[0].message.contains("deadlock"), "{}", v[0].message);
+    assert!(!v[0].message.contains("gamma"), "{}", v[0].message);
+}
+
+#[test]
+fn guard_lifetime_fixture() {
+    let v = flow_fixture("guard_lifetime.rs");
+    // Only `held_across_sleep` fires; drop-first, inner-scope, and
+    // guard-consuming condvar wait are the sanctioned shapes.
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::GuardLifetimeAudit);
+    assert_eq!(v[0].line, 14);
+    assert!(v[0].message.contains("`g`"), "{}", v[0].message);
+    assert!(v[0].message.contains("`state`"), "{}", v[0].message);
+    assert!(v[0].message.contains("sleep"), "{}", v[0].message);
+}
+
+#[test]
+fn cancellation_fixture() {
+    let v = flow_fixture("cancellation.rs");
+    // Only the unpolled `pump` loop fires; the polled twin and the
+    // never-spawned `standalone` loop stay clean.
+    assert_eq!(v.len(), 1, "{v:#?}");
+    assert_eq!(v[0].lint, LintId::CancellationResponsiveness);
+    assert_eq!(v[0].line, 12);
+    assert!(v[0].message.contains("pump"), "{}", v[0].message);
+    assert!(v[0].message.contains("step_blocking"), "{}", v[0].message);
+}
+
+#[test]
+fn result_discard_fixture() {
+    let v = flow_fixture("result_discard.rs");
+    // `let _ = produce()` (line 10) and the unused `outcome` binding
+    // (line 11); the `?`, `_`-prefixed, read, and macro shapes are clean.
+    assert_eq!(v.len(), 2, "{v:#?}");
+    assert!(v.iter().all(|v| v.lint == LintId::ResultDiscardAudit));
+    assert_eq!(v[0].line, 10);
+    assert!(v[0].message.contains("let _ ="), "{}", v[0].message);
+    assert_eq!(v[1].line, 11);
+    assert!(v[1].message.contains("`outcome`"), "{}", v[1].message);
+}
+
+#[test]
+fn allow_directive_suppresses_flow_families() {
+    // The inline poison-recovery idiom, wrapped in a standalone allow —
+    // the suppression pass must absorb the flow-family violation just as
+    // it does per-file ones.
+    let src = "impl S {\n    fn recover(&self) {\n        // finrad-lint: allow(lock-order-audit)\n        let g = self.m.lock().unwrap_or_else(|p| p.into_inner());\n        drop(g);\n    }\n}\n";
+    let unit = FileUnit {
+        path: PathBuf::from("crates/core/src/inline_allow.rs"),
+        lexed: xtask::lexer::lex(src),
+    };
+    let scrubbed = xtask::source::scrub(src);
+    let raw = xtask::flow::analyze(std::slice::from_ref(&unit));
+    assert_eq!(raw.len(), 1, "{raw:#?}");
+    let v = lints::apply_suppressions(&unit.path, &scrubbed, raw);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn lexer_edges_fixture_stays_clean() {
+    // Raw strings, escapes, and nested block comments: clean through both
+    // the per-file families and the flow families.
+    let v = lint_fixture("lexer_edges.rs");
+    assert!(v.is_empty(), "{v:#?}");
+    let v = flow_fixture("lexer_edges.rs");
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
 fn checkpoint_drift_fires_on_unbumped_serializer_edit() {
     let keys = read_fixture("../../../observe/src/keys.rs");
     let v1 = "pub const CHECKPOINT_VERSION: u32 = 1;\n\
@@ -242,6 +335,13 @@ fn scan_tree_skips_xtask_and_reports_relative_paths() {
         LintId::SeedDiscipline,
         LintId::SharedStateAudit,
         LintId::UnusedSuppression,
+        // The flow families: in particular, the real lock-acquisition graph
+        // (campaign service included) must be cycle-free, and every
+        // supervised loop must poll cancellation.
+        LintId::LockOrderAudit,
+        LintId::GuardLifetimeAudit,
+        LintId::CancellationResponsiveness,
+        LintId::ResultDiscardAudit,
     ] {
         let hits: Vec<_> = scan
             .violations
@@ -271,4 +371,33 @@ fn real_scan_report_round_trips_and_validates() {
         doc.get("schema").and_then(|v| v.as_str()),
         Some(xtask::report::REPORT_SCHEMA)
     );
+
+    // The same run as SARIF: validates, advertises every family as a rule,
+    // and carries one result per diagnostic.
+    let sarif = xtask::sarif::to_sarif(&check);
+    let problems = xtask::sarif::validate(&sarif);
+    assert!(problems.is_empty(), "{problems:#?}");
+    let doc = xtask::json::parse(&sarif).expect("SARIF parses");
+    let runs = doc.get("runs").and_then(|v| v.as_array()).expect("runs");
+    let results = runs[0]
+        .get("results")
+        .and_then(|v| v.as_array())
+        .expect("results");
+    assert_eq!(
+        results.len(),
+        check.new_violations.len() + check.budgeted.len()
+    );
+
+    // Differential mode against the report we just emitted: an unchanged
+    // tree produces zero fresh diagnostics.
+    let current: Vec<Violation> = check
+        .new_violations
+        .iter()
+        .chain(&check.budgeted)
+        .cloned()
+        .collect();
+    let (fresh, absorbed) =
+        xtask::report::diff_new(&current, &json).expect("self-report is a valid base");
+    assert!(fresh.is_empty(), "{fresh:#?}");
+    assert_eq!(absorbed.len(), current.len());
 }
