@@ -2,7 +2,7 @@
 //! the POF characterization (Section 4 of the paper).
 
 use finrad_bench::harness::Harness;
-use finrad_finfet::{FinFet, Polarity, Technology};
+use finrad_finfet::{FinFet, Polarity, SmallSignalBatch, Technology};
 use finrad_spice::analysis::{self, NewtonOptions, Phase, TimeStepPlan};
 use finrad_sram::scenario::StrikeEvent;
 use finrad_sram::{
@@ -20,6 +20,24 @@ fn bench_device_eval(c: &mut Harness) {
         b.iter(|| {
             v = if v > 0.8 { 0.0 } else { v + 0.001 };
             black_box(nfet.evaluate(v, 0.8 - v, 0.0))
+        })
+    });
+}
+
+fn bench_device_eval_batch(c: &mut Harness) {
+    // SoA kernel behind the variation-MC warm seeding: one bias point,
+    // 32 ΔVth lanes per call. Compare ns/iter ÷ 32 against the scalar
+    // `finfet_model_eval` to read off the per-lane amortization.
+    let tech = Technology::soi_finfet_14nm();
+    let nfet = FinFet::new(&tech, Polarity::Nmos, 1);
+    let deltas: Vec<f64> = (0..32).map(|k| (k as f64 - 16.0) * 1.0e-3).collect();
+    let mut batch = SmallSignalBatch::with_capacity(deltas.len());
+    c.bench_function("finfet_model_eval_batch32", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = if v > 0.8 { 0.0 } else { v + 0.001 };
+            nfet.evaluate_batch(v, 0.8 - v, 0.0, &deltas, &mut batch);
+            black_box(batch.lane(31))
         })
     });
 }
@@ -46,6 +64,35 @@ fn bench_hold_transient(c: &mut Harness) {
     let ic = cell.initial_conditions(CellState::One);
     let opts = NewtonOptions::default();
     c.bench_function("sram_hold_transient_100steps", |b| {
+        b.iter(|| {
+            black_box(
+                analysis::transient(cell.circuit(), &plan, &ic, &[cell.q()], &opts)
+                    .expect("transient"),
+            )
+        })
+    });
+}
+
+fn bench_settle_adaptive(c: &mut Harness) {
+    // The post-strike settle integration alone, under the LTE step
+    // controller: a short fixed-grid lead-in followed by a 5 ps adaptive
+    // settle phase. Isolates the controller the strike/qcrit kernels lean
+    // on from the bisection logic wrapped around them.
+    let cell = SramCell::new(&Technology::soi_finfet_14nm(), Voltage::from_volts(0.8));
+    let plan = TimeStepPlan::new(vec![
+        Phase {
+            duration: 3.2e-14,
+            dt: 2.0e-15,
+        },
+        Phase {
+            duration: 5.0e-12,
+            dt: 1.25e-14,
+        },
+    ])
+    .with_adaptive_phase(1);
+    let ic = cell.initial_conditions(CellState::One);
+    let opts = NewtonOptions::default();
+    c.bench_function("sram_settle_adaptive", |b| {
         b.iter(|| {
             black_box(
                 analysis::transient(cell.circuit(), &plan, &ic, &[cell.q()], &opts)
@@ -102,8 +149,10 @@ fn bench_critical_charge(c: &mut Harness) {
 fn main() {
     let mut h = Harness::from_env();
     bench_device_eval(&mut h);
+    bench_device_eval_batch(&mut h);
     bench_dc_operating_point(&mut h);
     bench_hold_transient(&mut h);
+    bench_settle_adaptive(&mut h);
     bench_strike_transient(&mut h);
     bench_critical_charge(&mut h);
 }

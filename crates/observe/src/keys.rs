@@ -35,6 +35,19 @@ pub const SPICE_LU_STRUCTURED: &str = "spice.newton.lu_structured";
 /// Linear solves that fell back to dense partial-pivot LU because the
 /// frozen pivot order failed the stability guard.
 pub const SPICE_LU_DENSE_FALLBACKS: &str = "spice.newton.lu_dense_fallbacks";
+/// Newton iterations served by a retained Jacobian factorization
+/// (quasi-Newton chord steps: RHS restamped, no refactorization).
+pub const SPICE_NEWTON_JACOBIAN_REUSES: &str = "spice.newton.jacobian_reuses";
+/// Newton iterations that stamped and factored a fresh Jacobian (the
+/// complement of `jacobian_reuses`; together they sum to `iterations`).
+pub const SPICE_NEWTON_REFACTORIZATIONS: &str = "spice.newton.refactorizations";
+/// Transient steps on which the LTE controller doubled the settle-phase
+/// timestep because the BE truncation-error estimate permitted it.
+pub const SPICE_TRANSIENT_LTE_STEP_GROWTHS: &str = "spice.transient.lte_step_growths";
+
+/// FinFET model evaluations served by the structure-of-arrays batch path
+/// (one lane per Monte-Carlo ΔVth sample).
+pub const FINFET_MODEL_BATCHED_EVALS: &str = "finfet.model.batched_evals";
 
 /// Critical-charge bisection/bracketing transient evaluations.
 pub const SRAM_BISECTION_STEPS: &str = "sram.characterize.bisection_steps";

@@ -41,6 +41,18 @@ pub struct NewtonOptions {
     /// `dt / 2^max_step_halvings`, so it only backstops pathological
     /// plans.
     pub min_dt: f64,
+    /// Whether Newton may serve iterations from a retained Jacobian
+    /// factorization (quasi-Newton chord steps: only the RHS residual is
+    /// restamped while the factorization is fresh, across iterations and
+    /// across transient steps). `false` stamps and factors a fresh
+    /// Jacobian every iteration — classic full Newton, kept as the
+    /// bit-exact reference path.
+    pub jacobian_reuse: bool,
+    /// Staleness bound: chord iterations a factorization may serve after
+    /// the full iteration that computed it before a refresh is forced.
+    /// `0` refactors every iteration even with `jacobian_reuse` on,
+    /// which is bit-identical to full Newton (pinned by a test).
+    pub max_jacobian_age: u32,
 }
 
 impl Default for NewtonOptions {
@@ -53,9 +65,38 @@ impl Default for NewtonOptions {
             v_clamp: (-2.0, 3.0),
             max_step_halvings: 12,
             min_dt: 1.0e-21,
+            jacobian_reuse: true,
+            max_jacobian_age: 12,
         }
     }
 }
+
+/// A retained factorization is reused only while the timestep stays
+/// within this ratio of the `dt` it was stamped at: the capacitor
+/// companion conductances `C/dt` baked into the factors scale with `dt`,
+/// so a bigger change (every LTE growth is ×2, every rejection halving
+/// ×0.5) forces a refresh.
+const JACOBIAN_REUSE_DT_RATIO: f64 = 1.25;
+
+/// Chord staleness gate: a reused factorization must shrink the
+/// nonlinear residual by at least this factor per iteration; when the
+/// reduction rate collapses the Jacobian is declared stale and the
+/// iteration falls back to a full refactorization.
+const CHORD_CONTRACTION: f64 = 0.5;
+
+/// LTE controller: absolute tolerance on the backward-Euler local
+/// truncation-error estimate `½·h·max_n |v̇_n − v̇_n⁻|`, volts.
+const LTE_TOL_VOLTS: f64 = 5.0e-3;
+
+/// The controller doubles `dt` only while the estimate sits below this
+/// fraction of [`LTE_TOL_VOLTS`] — hysteresis against grow/shrink
+/// flapping at the threshold.
+const LTE_GROW_MARGIN: f64 = 0.25;
+
+/// Cap on adaptive growth: `dt` never exceeds this multiple of the
+/// phase's base `dt`, bounding the worst-case per-step error even on a
+/// perfectly flat tail.
+const LTE_MAX_GROWTH: f64 = 64.0;
 
 /// Solved static state of a circuit.
 #[derive(Debug, Clone)]
@@ -100,11 +141,26 @@ struct SolverScratch {
     v_next: Vec<f64>,
     /// Fixed-pattern LU; `None` until the first solve picks a pivot order.
     structured: Option<StructuredLu>,
+    /// Nonlinear-residual buffer for the chord (quasi-Newton) path.
+    r: Vec<f64>,
+    /// Backward-Euler capacitor companions `(geq, ieq)`, hoisted out of
+    /// the Newton loop: both depend only on `(dt, v_prev)`, fixed for a
+    /// whole solve. Empty in DC analyses.
+    cap_comp: Vec<(f64, f64)>,
+    /// What the retained factorization was stamped for: `(transient?,
+    /// dt, gmin)`. `None` when the factors are not reusable.
+    factored_key: Option<(bool, f64, f64)>,
+    /// Chord iterations served since the factorization was stamped.
+    jacobian_age: u32,
     /// Linear solves served by the structured path since the last flush.
     structured_solves: u64,
     /// Dense partial-pivot fallbacks since the last flush (pivot-guard
     /// trips and first-time analyses).
     dense_fallbacks: u64,
+    /// Chord iterations served by a retained factorization since flush.
+    jacobian_reuses: u64,
+    /// Iterations that stamped and factored a fresh Jacobian since flush.
+    refactorizations: u64,
 }
 
 /// Assembles and solves one Newton iteration's linearized MNA system.
@@ -128,8 +184,14 @@ impl<'c> Assembler<'c> {
                 b: vec![0.0; dim],
                 v_next: vec![0.0; n_nodes],
                 structured: None,
+                r: vec![0.0; dim],
+                cap_comp: Vec::new(),
+                factored_key: None,
+                jacobian_age: 0,
                 structured_solves: 0,
                 dense_fallbacks: 0,
+                jacobian_reuses: 0,
+                refactorizations: 0,
             }),
         }
     }
@@ -211,28 +273,71 @@ impl<'c> Assembler<'c> {
     fn assemble(
         &self,
         v: &[f64],
-        cap_state: Option<(f64, &[f64])>,
+        cap_comp: Option<&[(f64, f64)]>,
         time: f64,
         gmin: f64,
     ) -> (Matrix, Vec<f64>) {
         let mut j = Matrix::zeros(self.dim, self.dim);
         let mut b = vec![0.0; self.dim];
-        self.assemble_into(&mut j, &mut b, v, cap_state, time, gmin);
+        self.assemble_into(&mut j, &mut b, v, cap_comp, time, gmin);
         (j, b)
+    }
+
+    /// Backward-Euler capacitor companions `(geq, ieq)` for the given
+    /// transient state, or `None` in DC (capacitors open). Hoisted out of
+    /// the Newton loop: both values depend only on `(dt, v_prev)`, which
+    /// are fixed for a whole solve, so recomputing them per iteration
+    /// (as the retired assembly did) was pure overhead.
+    fn cap_companions(&self, cap_state: Option<(f64, &[f64])>) -> Option<Vec<(f64, f64)>> {
+        cap_state.map(|(dt, v_prev)| {
+            self.ckt
+                .capacitors
+                .iter()
+                .map(|c| {
+                    let geq = c.farads / dt;
+                    // Companion current source: geq * (v_a_prev − v_b_prev)
+                    // flowing the same way as the conductance.
+                    (geq, geq * (v_prev[c.a.index()] - v_prev[c.b.index()]))
+                })
+                .collect()
+        })
     }
 
     /// Like [`Assembler::assemble`], but stamping into caller-owned
     /// buffers so the Newton loop allocates nothing per iteration.
     ///
-    /// `cap_state`: `Some((dt, v_prev))` enables backward-Euler companion
-    /// models for capacitors; `None` leaves capacitors open (DC).
-    /// `time`: evaluation time for source waveforms.
+    /// `cap_comp`: precomputed [`Assembler::cap_companions`] enables the
+    /// backward-Euler companion models; `None` leaves capacitors open
+    /// (DC). `time`: evaluation time for source waveforms.
     fn assemble_into(
         &self,
         j: &mut Matrix,
         b: &mut [f64],
         v: &[f64],
-        cap_state: Option<(f64, &[f64])>,
+        cap_comp: Option<&[(f64, f64)]>,
+        time: f64,
+        gmin: f64,
+    ) {
+        self.assemble_linear_into(j, b, cap_comp, time, gmin);
+
+        // MOSFETs: linearized drain current with RHS correction so that the
+        // solution of the linear system is the Newton update.
+        for m in &self.ckt.mosfets {
+            let (vg, vd, vs) = (v[m.gate.index()], v[m.drain.index()], v[m.source.index()]);
+            let ss = m.device.evaluate(vg, vd, vs);
+            self.stamp_mosfet(j, b, m, (vg, vd, vs), ss);
+        }
+    }
+
+    /// Stamps every linear element (gmin leak, resistors, capacitor
+    /// companions, sources) — the part of the system that does not depend
+    /// on the candidate voltages, shared between [`Assembler::assemble_into`]
+    /// and the batched Monte-Carlo seeding in [`warm_seed_batch`].
+    fn assemble_linear_into(
+        &self,
+        j: &mut Matrix,
+        b: &mut [f64],
+        cap_comp: Option<&[(f64, f64)]>,
         time: f64,
         gmin: f64,
     ) {
@@ -250,15 +355,11 @@ impl<'c> Assembler<'c> {
             stamp_conductance(j, ia, ib, r.conductance);
         }
 
-        // Capacitors (transient only).
-        if let Some((dt, v_prev)) = cap_state {
-            for c in &self.ckt.capacitors {
-                let geq = c.farads / dt;
+        // Capacitors (transient only), via their hoisted BE companions.
+        if let Some(comp) = cap_comp {
+            for (c, &(geq, ieq)) in self.ckt.capacitors.iter().zip(comp) {
                 let (ia, ib) = (self.idx(c.a), self.idx(c.b));
                 stamp_conductance(j, ia, ib, geq);
-                // Companion current source: geq * (v_a_prev - v_b_prev)
-                // flowing the same way as the conductance.
-                let ieq = geq * (v_prev[c.a.index()] - v_prev[c.b.index()]);
                 if let Some(a) = ia {
                     b[a] += ieq;
                 }
@@ -292,36 +393,114 @@ impl<'c> Assembler<'c> {
             }
             b[br] = vs.volts;
         }
+    }
 
-        // MOSFETs: linearized drain current with RHS correction so that the
-        // solution of the linear system is the Newton update.
-        for m in &self.ckt.mosfets {
-            let (vg, vd, vs) = (v[m.gate.index()], v[m.drain.index()], v[m.source.index()]);
-            let ss = m.device.evaluate(vg, vd, vs);
-            // i_d(v) ≈ ss.id + gg·(vg'-vg) + gd·(vd'-vd) + gs·(vs'-vs)
-            //        = [gg·vg' + gd·vd' + gs·vs'] + i_rhs
-            let i_rhs = ss.id - ss.did_dvg * vg - ss.did_dvd * vd - ss.did_dvs * vs;
-            let (ig, id_, is_) = (self.idx(m.gate), self.idx(m.drain), self.idx(m.source));
-            // Current flows into drain, out of source.
-            if let Some(d) = id_ {
-                if let Some(g) = ig {
-                    j.add_at(d, g, ss.did_dvg);
-                }
-                j.add_at(d, d, ss.did_dvd);
-                if let Some(s) = is_ {
-                    j.add_at(d, s, ss.did_dvs);
-                }
-                b[d] -= i_rhs;
+    /// Stamps one MOSFET's linearization (Jacobian conductances + RHS
+    /// correction) at terminal voltages `(vg, vd, vs)`.
+    fn stamp_mosfet(
+        &self,
+        j: &mut Matrix,
+        b: &mut [f64],
+        m: &crate::circuit::MosfetInst,
+        (vg, vd, vs): (f64, f64, f64),
+        ss: finrad_finfet::SmallSignal,
+    ) {
+        // i_d(v) ≈ ss.id + gg·(vg'-vg) + gd·(vd'-vd) + gs·(vs'-vs)
+        //        = [gg·vg' + gd·vd' + gs·vs'] + i_rhs
+        let i_rhs = ss.id - ss.did_dvg * vg - ss.did_dvd * vd - ss.did_dvs * vs;
+        let (ig, id_, is_) = (self.idx(m.gate), self.idx(m.drain), self.idx(m.source));
+        // Current flows into drain, out of source.
+        if let Some(d) = id_ {
+            if let Some(g) = ig {
+                j.add_at(d, g, ss.did_dvg);
             }
-            if let Some(s_row) = is_ {
-                if let Some(g) = ig {
-                    j.add_at(s_row, g, -ss.did_dvg);
+            j.add_at(d, d, ss.did_dvd);
+            if let Some(s) = is_ {
+                j.add_at(d, s, ss.did_dvs);
+            }
+            b[d] -= i_rhs;
+        }
+        if let Some(s_row) = is_ {
+            if let Some(g) = ig {
+                j.add_at(s_row, g, -ss.did_dvg);
+            }
+            if let Some(d) = id_ {
+                j.add_at(s_row, d, -ss.did_dvd);
+            }
+            j.add_at(s_row, s_row, -ss.did_dvs);
+            b[s_row] += i_rhs;
+        }
+    }
+
+    /// Stamps the *nonlinear* KCL residual `F(v, i_br)` at the given
+    /// iterate into `r` — the RHS of the chord (quasi-Newton) system
+    /// `J₀·δ = F` — without touching the Jacobian. For every linear
+    /// element `F` is exact; for MOSFETs it is the true drain current, so
+    /// a chord iterate accepted at `vtol` satisfies the same nonlinear
+    /// KCL the full-Newton iterate does: reuse never degrades the
+    /// converged answer, only (at worst) the iteration count.
+    fn residual_into(
+        &self,
+        r: &mut [f64],
+        v: &[f64],
+        branch: &[f64],
+        cap_comp: Option<&[(f64, f64)]>,
+        time: f64,
+        gmin: f64,
+    ) {
+        r.fill(0.0);
+
+        for n in 1..self.n_nodes {
+            r[n - 1] = gmin * v[n];
+        }
+        for res in &self.ckt.resistors {
+            let i = res.conductance * (v[res.a.index()] - v[res.b.index()]);
+            if let Some(a) = self.idx(res.a) {
+                r[a] += i;
+            }
+            if let Some(b) = self.idx(res.b) {
+                r[b] -= i;
+            }
+        }
+        if let Some(comp) = cap_comp {
+            for (c, &(geq, ieq)) in self.ckt.capacitors.iter().zip(comp) {
+                let i = geq * (v[c.a.index()] - v[c.b.index()]) - ieq;
+                if let Some(a) = self.idx(c.a) {
+                    r[a] += i;
                 }
-                if let Some(d) = id_ {
-                    j.add_at(s_row, d, -ss.did_dvd);
+                if let Some(b) = self.idx(c.b) {
+                    r[b] -= i;
                 }
-                j.add_at(s_row, s_row, -ss.did_dvs);
-                b[s_row] += i_rhs;
+            }
+        }
+        for s in &self.ckt.isources {
+            let val = s.waveform.value(time);
+            if let Some(f) = self.idx(s.from) {
+                r[f] += val;
+            }
+            if let Some(t) = self.idx(s.to) {
+                r[t] -= val;
+            }
+        }
+        for (k, vs) in self.ckt.vsources.iter().enumerate() {
+            let i_br = branch[k];
+            if let Some(p) = self.idx(vs.pos) {
+                r[p] += i_br;
+            }
+            if let Some(n) = self.idx(vs.neg) {
+                r[n] -= i_br;
+            }
+            r[self.branch_idx(k)] = v[vs.pos.index()] - v[vs.neg.index()] - vs.volts;
+        }
+        for m in &self.ckt.mosfets {
+            let ss = m
+                .device
+                .evaluate(v[m.gate.index()], v[m.drain.index()], v[m.source.index()]);
+            if let Some(d) = self.idx(m.drain) {
+                r[d] += ss.id;
+            }
+            if let Some(s) = self.idx(m.source) {
+                r[s] -= ss.id;
             }
         }
     }
@@ -356,6 +535,20 @@ impl<'c> Assembler<'c> {
                 scratch.dense_fallbacks,
             );
             scratch.dense_fallbacks = 0;
+        }
+        if scratch.jacobian_reuses > 0 {
+            finrad_observe::counter_add(
+                finrad_observe::keys::SPICE_NEWTON_JACOBIAN_REUSES,
+                scratch.jacobian_reuses,
+            );
+            scratch.jacobian_reuses = 0;
+        }
+        if scratch.refactorizations > 0 {
+            finrad_observe::counter_add(
+                finrad_observe::keys::SPICE_NEWTON_REFACTORIZATIONS,
+                scratch.refactorizations,
+            );
+            scratch.refactorizations = 0;
         }
         result
     }
@@ -401,64 +594,169 @@ impl<'c> Assembler<'c> {
         finrad_observe::counter_add(finrad_observe::keys::SPICE_NEWTON_SOLVES, 1);
         let scratch = &mut *self.scratch.borrow_mut();
 
-        for iter in 0..opts.max_iter {
-            self.assemble_into(&mut scratch.j, &mut scratch.b, &v, cap_state, time, gmin);
+        // Hoist the backward-Euler companions: `geq = C/dt` and the
+        // companion current depend only on `(dt, v_prev)`, fixed for the
+        // whole solve, so they are computed once here instead of on every
+        // Newton iteration.
+        match self.cap_companions(cap_state) {
+            Some(comp) => scratch.cap_comp = comp,
+            None => scratch.cap_comp.clear(),
+        }
 
-            // Linear solve: the structure-exploiting fixed-pattern LU when
-            // its frozen pivot order is stable for this Jacobian, dense
-            // partial pivoting otherwise (also the first iteration, which
-            // picks the pivot order the structured path then freezes).
-            let structured_x = match scratch.structured.as_mut() {
-                Some(slu) => match slu.factor(&scratch.j) {
-                    Ok(()) => Some(slu.solve(&scratch.b).map_err(|_| SpiceError::Singular {
-                        context: context.to_owned(),
-                    })?),
-                    Err(_) => None,
-                },
-                None => None,
-            };
-            let x = match structured_x {
-                Some(x) => {
+        // Retained-factorization freshness across solves (and therefore
+        // across transient steps): the factors are only reusable for the
+        // same analysis kind and gmin, with dt within a fixed ratio of
+        // the dt they were stamped at.
+        let key = (
+            cap_state.is_some(),
+            cap_state.map_or(0.0, |(dt, _)| dt),
+            gmin,
+        );
+        let reusable = scratch.factored_key.is_some_and(|(tr, fdt, fg)| {
+            tr == key.0
+                && fg == key.2
+                && (!tr
+                    || (fdt <= key.1 * JACOBIAN_REUSE_DT_RATIO
+                        && key.1 <= fdt * JACOBIAN_REUSE_DT_RATIO))
+        });
+        if !reusable {
+            scratch.factored_key = None;
+        }
+        // Residual infinity-norm of the previous chord iteration, the
+        // staleness signal: a retained Jacobian that stops contracting
+        // the residual is refreshed.
+        let mut prev_residual: Option<f64> = None;
+
+        for iter in 0..opts.max_iter {
+            // Quasi-Newton chord attempt: while the retained factorization
+            // is fresh, restamp only the RHS (the true nonlinear residual)
+            // and solve `J₀·δ = F` with the existing factors. Any
+            // staleness signal — age over budget, residual-reduction-rate
+            // collapse, or a failed triangular solve — falls through to
+            // the full refactorization below, so convergence behavior is
+            // never silently degraded.
+            // Chord steps are transient-only: that is where the reuse pays
+            // (tens of thousands of per-step factorizations), while DC
+            // solves — warm-start dominated and pinned by bit-exact
+            // accuracy tests — keep the classic full-Newton path.
+            let mut chord_applied: Option<f64> = None;
+            if opts.jacobian_reuse
+                && key.0
+                && scratch.factored_key.is_some()
+                && scratch.jacobian_age < opts.max_jacobian_age
+            {
+                let comp = key.0.then_some(&scratch.cap_comp[..]);
+                let SolverScratch { r, .. } = scratch;
+                self.residual_into(r, &v, &branch, comp, time, gmin);
+                let rnorm = r.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+                let contracting = prev_residual.is_none_or(|p| rnorm <= CHORD_CONTRACTION * p);
+                let delta = if contracting {
+                    scratch
+                        .structured
+                        .as_ref()
+                        .and_then(|slu| slu.solve(&scratch.r).ok())
+                } else {
+                    None
+                };
+                if let Some(delta) = delta {
+                    let mut max_applied = 0.0f64;
+                    scratch.v_next[0] = 0.0;
+                    for n in 1..self.n_nodes {
+                        let step = (-delta[n - 1]).clamp(-opts.max_step, opts.max_step);
+                        let clamped = (v[n] + step).clamp(opts.v_clamp.0, opts.v_clamp.1);
+                        max_applied = max_applied.max((clamped - v[n]).abs());
+                        scratch.v_next[n] = clamped;
+                    }
+                    for k in 0..branch.len() {
+                        branch[k] -= delta[self.branch_idx(k)];
+                    }
+                    std::mem::swap(&mut v, &mut scratch.v_next);
+                    scratch.jacobian_age += 1;
+                    scratch.jacobian_reuses += 1;
                     scratch.structured_solves += 1;
-                    x
+                    prev_residual = Some(rnorm);
+                    chord_applied = Some(max_applied);
+                } else {
+                    // Stale: force the full path this iteration.
+                    scratch.factored_key = None;
                 }
-                None => {
-                    scratch.dense_fallbacks += 1;
-                    let lu =
-                        LuFactors::factor(scratch.j.clone()).map_err(|_| SpiceError::Singular {
+            }
+
+            let max_applied = if let Some(applied) = chord_applied {
+                applied
+            } else {
+                let comp = key.0.then_some(&scratch.cap_comp[..]);
+                let SolverScratch { j, b, .. } = scratch;
+                self.assemble_into(j, b, &v, comp, time, gmin);
+
+                // Linear solve: the structure-exploiting fixed-pattern LU when
+                // its frozen pivot order is stable for this Jacobian, dense
+                // partial pivoting otherwise (also the first iteration, which
+                // picks the pivot order the structured path then freezes).
+                let structured_x = match scratch.structured.as_mut() {
+                    Some(slu) => match slu.factor(&scratch.j) {
+                        Ok(()) => {
+                            Some(slu.solve(&scratch.b).map_err(|_| SpiceError::Singular {
+                                context: context.to_owned(),
+                            })?)
+                        }
+                        Err(_) => None,
+                    },
+                    None => None,
+                };
+                let numeric_factors_live = structured_x.is_some();
+                let x = match structured_x {
+                    Some(x) => {
+                        scratch.structured_solves += 1;
+                        x
+                    }
+                    None => {
+                        scratch.dense_fallbacks += 1;
+                        let lu = LuFactors::factor(scratch.j.clone()).map_err(|_| {
+                            SpiceError::Singular {
+                                context: context.to_owned(),
+                            }
+                        })?;
+                        let x = lu.solve(&scratch.b).map_err(|_| SpiceError::Singular {
                             context: context.to_owned(),
                         })?;
-                    let x = lu.solve(&scratch.b).map_err(|_| SpiceError::Singular {
-                        context: context.to_owned(),
-                    })?;
-                    // (Re-)analyze the fixed pattern under the pivot order
-                    // dense pivoting just proved stable, so subsequent
-                    // iterations take the structured path.
-                    let mask = self.stamp_mask();
-                    scratch.structured = StructuredLu::analyze(&mask, lu.perm().to_vec()).ok();
-                    x
-                }
-            };
+                        // (Re-)analyze the fixed pattern under the pivot order
+                        // dense pivoting just proved stable, so subsequent
+                        // iterations take the structured path.
+                        let mask = self.stamp_mask();
+                        scratch.structured = StructuredLu::analyze(&mask, lu.perm().to_vec()).ok();
+                        x
+                    }
+                };
+                scratch.refactorizations += 1;
+                scratch.jacobian_age = 0;
+                // The chord path may only reuse factors that numerically
+                // exist: a dense-fallback iteration leaves the structured
+                // LU analyzed but unfactored.
+                scratch.factored_key = numeric_factors_live.then_some(key);
+                prev_residual = None;
 
-            // Extract, damp and clamp the update. Convergence is judged on
-            // the *applied* change: a node parked at the voltage clamp (the
-            // stand-in for junction clamping under mA-scale strike pulses)
-            // is stationary and must count as converged even though the
-            // unclamped Newton target lies beyond the rail.
-            let mut max_applied = 0.0f64;
-            scratch.v_next[0] = 0.0;
-            for n in 1..self.n_nodes {
-                let target = x[n - 1];
-                let delta = target - v[n];
-                let damped = delta.clamp(-opts.max_step, opts.max_step);
-                let clamped = (v[n] + damped).clamp(opts.v_clamp.0, opts.v_clamp.1);
-                max_applied = max_applied.max((clamped - v[n]).abs());
-                scratch.v_next[n] = clamped;
-            }
-            for k in 0..branch.len() {
-                branch[k] = x[self.branch_idx(k)];
-            }
-            std::mem::swap(&mut v, &mut scratch.v_next);
+                // Extract, damp and clamp the update. Convergence is judged on
+                // the *applied* change: a node parked at the voltage clamp (the
+                // stand-in for junction clamping under mA-scale strike pulses)
+                // is stationary and must count as converged even though the
+                // unclamped Newton target lies beyond the rail.
+                let mut max_applied = 0.0f64;
+                scratch.v_next[0] = 0.0;
+                for n in 1..self.n_nodes {
+                    let target = x[n - 1];
+                    let delta = target - v[n];
+                    let damped = delta.clamp(-opts.max_step, opts.max_step);
+                    let clamped = (v[n] + damped).clamp(opts.v_clamp.0, opts.v_clamp.1);
+                    max_applied = max_applied.max((clamped - v[n]).abs());
+                    scratch.v_next[n] = clamped;
+                }
+                for k in 0..branch.len() {
+                    branch[k] = x[self.branch_idx(k)];
+                }
+                std::mem::swap(&mut v, &mut scratch.v_next);
+                max_applied
+            };
             last_delta = max_applied;
             // The first iterate whose applied update is below tolerance is
             // accepted — including iteration 0, so a warm start from an
@@ -497,7 +795,8 @@ impl<'c> Assembler<'c> {
         time: f64,
         gmin: f64,
     ) -> f64 {
-        let (j, b) = self.assemble(v, cap_state, time, gmin);
+        let comp = self.cap_companions(cap_state);
+        let (j, b) = self.assemble(v, comp.as_deref(), time, gmin);
         let mut x = vec![0.0; self.dim];
         for n in 1..self.n_nodes {
             x[n - 1] = v[n];
@@ -708,6 +1007,109 @@ pub fn dc_operating_point_warm(
     }
 }
 
+/// Batched one-step Newton seeds for a family of ΔVth Monte-Carlo
+/// samples sharing one base circuit and one solved `state`.
+///
+/// `deltas_by_mosfet[i][k]` is the threshold shift applied to MOSFET `i`
+/// (in [`Circuit::mosfet_ids`] order) in sample lane `k`; every inner
+/// slice must have the same lane count. The linear MNA template (gmin,
+/// resistors, sources — identical across lanes) is stamped once, each
+/// device is evaluated across all lanes in one SoA
+/// [`Circuit::evaluate_mosfet_batch`] call, and each lane then pays only
+/// its per-sample MOSFET stamps plus one dense solve. The returned seed
+/// for lane `k` is the damped, clamped single Newton iterate of the
+/// *sample* circuit started from `state` — exactly what
+/// [`dc_operating_point_warm`] wants as its starting vector, typically
+/// leaving it a single confirming iteration from convergence.
+///
+/// A lane depends only on `(state, its own deltas)`, so results are
+/// independent of how callers chunk lanes across threads.
+///
+/// # Errors
+///
+/// [`SpiceError::InvalidElement`] for a degenerate netlist,
+/// [`SpiceError::Singular`] if a lane's linearized system cannot be
+/// factored; callers should fall back to scalar cold/warm solves.
+///
+/// # Panics
+///
+/// Panics if `state` is shorter than the node count, if
+/// `deltas_by_mosfet` does not have one entry per MOSFET, or if the
+/// inner lane counts disagree.
+pub fn warm_seed_batch(
+    ckt: &Circuit,
+    opts: &NewtonOptions,
+    state: &[f64],
+    deltas_by_mosfet: &[Vec<f64>],
+) -> Result<Vec<Vec<f64>>, SpiceError> {
+    ckt.validate()?;
+    let n_nodes = ckt.node_count();
+    assert!(
+        state.len() >= n_nodes,
+        "seed state has {} entries for {n_nodes} nodes",
+        state.len()
+    );
+    assert_eq!(
+        deltas_by_mosfet.len(),
+        ckt.mosfet_count(),
+        "one ΔVth lane vector per MOSFET"
+    );
+    let lanes = deltas_by_mosfet.first().map_or(0, Vec::len);
+    assert!(
+        deltas_by_mosfet.iter().all(|d| d.len() == lanes),
+        "ragged ΔVth lanes"
+    );
+    if lanes == 0 {
+        return Ok(Vec::new());
+    }
+
+    let asm = Assembler::new(ckt);
+    let dim = (n_nodes - 1) + ckt.vsource_count();
+    let mut j_template = Matrix::zeros(dim, dim);
+    let mut b_template = vec![0.0; dim];
+    // DC seeding: capacitors open, sources at t = 0, final gmin.
+    asm.assemble_linear_into(&mut j_template, &mut b_template, None, 0.0, opts.gmin);
+
+    // One SoA model evaluation per device covers every lane.
+    let mut batches: Vec<finrad_finfet::SmallSignalBatch> = deltas_by_mosfet
+        .iter()
+        .map(|d| finrad_finfet::SmallSignalBatch::with_capacity(d.len()))
+        .collect();
+    for (i, id) in ckt.mosfet_ids().enumerate() {
+        ckt.evaluate_mosfet_batch(id, state, &deltas_by_mosfet[i], &mut batches[i]);
+    }
+
+    let mut seeds = Vec::with_capacity(lanes);
+    for k in 0..lanes {
+        let mut j = j_template.clone();
+        let mut b = b_template.clone();
+        for (m, batch) in ckt.mosfets.iter().zip(&batches) {
+            let (vg, vd, vs) = (
+                state[m.gate.index()],
+                state[m.drain.index()],
+                state[m.source.index()],
+            );
+            asm.stamp_mosfet(&mut j, &mut b, m, (vg, vd, vs), batch.lane(k));
+        }
+        let lu = LuFactors::factor(j).map_err(|_| SpiceError::Singular {
+            context: format!("warm seed batch lane {k}"),
+        })?;
+        let x = lu.solve(&b).map_err(|_| SpiceError::Singular {
+            context: format!("warm seed batch lane {k}"),
+        })?;
+        // One damped, clamped Newton step from the shared state — the
+        // same update rule as the full solver, so a seed is always a
+        // legal iterate.
+        let mut seed = vec![0.0; n_nodes];
+        for n in 1..n_nodes {
+            let delta = (x[n - 1] - state[n]).clamp(-opts.max_step, opts.max_step);
+            seed[n] = (state[n] + delta).clamp(opts.v_clamp.0, opts.v_clamp.1);
+        }
+        seeds.push(seed);
+    }
+    Ok(seeds)
+}
+
 /// Like [`dc_operating_point_from`] but additionally returning the
 /// [`RecoveryTrace`] of the convergence-recovery ladder: direct solve →
 /// g-min stepping → source stepping (see [`crate::recovery`]). The trace
@@ -907,13 +1309,21 @@ pub struct Phase {
 
 /// A multi-phase timestep plan: fine steps around the pulse, coarse steps
 /// for the settling tail.
+///
+/// A phase is either *fixed* — stepped on the exact derived grid
+/// `phase_start + i·dt`, bit-reproducible — or *adaptive* — started at
+/// the phase's `dt` and controlled by the backward-Euler local
+/// truncation-error estimate, which grows the step geometrically over
+/// smooth stretches (see [`TimeStepPlan::with_adaptive_phase`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimeStepPlan {
     phases: Vec<Phase>,
+    adaptive: Vec<bool>,
 }
 
 impl TimeStepPlan {
-    /// Builds a plan from `(duration, dt)` phases.
+    /// Builds a plan from `(duration, dt)` phases; every phase steps on
+    /// the exact fixed grid.
     ///
     /// # Panics
     ///
@@ -927,12 +1337,35 @@ impl TimeStepPlan {
                 "invalid phase {p:?}"
             );
         }
-        Self { phases }
+        let adaptive = vec![false; phases.len()];
+        Self { phases, adaptive }
+    }
+
+    /// Marks phase `index` as LTE-adaptive: its `dt` becomes the starting
+    /// (and minimum controller) step, doubled while the local
+    /// truncation-error estimate stays below tolerance, capped at a fixed
+    /// multiple, and always clamped so no step crosses the phase
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn with_adaptive_phase(mut self, index: usize) -> Self {
+        assert!(index < self.phases.len(), "phase index out of range");
+        self.adaptive[index] = true;
+        self
+    }
+
+    /// Whether phase `index` is LTE-adaptive.
+    pub fn phase_adaptive(&self, index: usize) -> bool {
+        self.adaptive.get(index).copied().unwrap_or(false)
     }
 
     /// A plan suited to SRAM upset simulation: resolves a pulse of width
-    /// `pulse_width` starting at `pulse_start` with ~8 steps across it,
-    /// then relaxes over `settle` with coarse steps.
+    /// `pulse_width` starting at `pulse_start` with ~8 steps across it on
+    /// an exact fixed grid (so waveform sampling and the stationarity
+    /// early-exit stay bit-reproducible), then relaxes over `settle`
+    /// under LTE-adaptive stepping seeded with the coarse tail dt.
     pub fn for_pulse(pulse_start: f64, pulse_width: f64, settle: f64) -> Self {
         let fine_dt = (pulse_width / 8.0).max(1.0e-16);
         let fine_span = pulse_start + pulse_width * 2.0;
@@ -946,6 +1379,7 @@ impl TimeStepPlan {
                 dt: (settle / 400.0).max(fine_dt),
             },
         ])
+        .with_adaptive_phase(1)
     }
 
     /// Total simulated time.
@@ -1114,42 +1548,109 @@ fn run_transient(
     result.push_sample(0.0, probes.iter().map(|&n| v[n.index()]));
 
     let mut stopped = false;
+    let mut lte_growths = 0u64;
     let mut phase_start = 0.0f64;
-    'phases: for phase in plan.phases() {
-        let n_full = (phase.duration / phase.dt).floor() as usize;
-        let remainder = phase.duration - n_full as f64 * phase.dt;
-        // Sub-ppb leftovers are quantization noise of `duration/dt`, not a
-        // real remainder step.
-        let has_remainder = remainder > phase.dt * 1.0e-9;
-        for i in 0..n_full {
-            let t0 = phase_start + i as f64 * phase.dt;
-            v = advance_step(&asm, v, t0, phase.dt, opts, 0, &mut trace)?;
-            let t1 = if i + 1 == n_full && !has_remainder {
-                phase_start + phase.duration
-            } else {
-                phase_start + (i + 1) as f64 * phase.dt
-            };
-            result.push_sample(t1, probes.iter().map(|&n| v[n.index()]));
-            if let Some(stop) = stop.as_deref_mut() {
-                if stop(t1, &v) {
-                    stopped = true;
-                    break 'phases;
+    'phases: for (pi, phase) in plan.phases().iter().enumerate() {
+        if plan.phase_adaptive(pi) {
+            // LTE-controlled phase. `dt` starts at the phase's base step
+            // and doubles while the backward-Euler truncation-error
+            // estimate `½·h·max_n |v̇_n − v̇_n⁻|` stays below tolerance;
+            // the estimate exceeding tolerance (or a Newton rejection,
+            // which shows up as recorded timestep halvings) folds it back
+            // toward the base step. Steps never cross the phase boundary:
+            // the last one is clamped to land on it exactly.
+            let phase_end = phase_start + phase.duration;
+            let dt_max = phase.dt * LTE_MAX_GROWTH;
+            let mut dt = phase.dt;
+            let mut t = phase_start;
+            let mut v_old = vec![0.0; v.len()];
+            let mut der = vec![0.0; v.len()];
+            let mut der_prev: Vec<f64> = Vec::new();
+            while phase_end - t > phase.dt * 1.0e-9 {
+                let h = dt.min(phase_end - t);
+                v_old.copy_from_slice(&v);
+                let rejections_before = trace.attempts().len() + trace.suppressed();
+                v = advance_step(&asm, v, t, h, opts, 0, &mut trace)?;
+                let t1 = if phase_end - (t + h) <= phase.dt * 1.0e-9 {
+                    phase_end
+                } else {
+                    t + h
+                };
+                result.push_sample(t1, probes.iter().map(|&n| v[n.index()]));
+                if let Some(stop) = stop.as_deref_mut() {
+                    if stop(t1, &v) {
+                        stopped = true;
+                        break 'phases;
+                    }
+                }
+                for (d, (a, b)) in der.iter_mut().zip(v.iter().zip(&v_old)) {
+                    *d = (a - b) / h;
+                }
+                if trace.attempts().len() + trace.suppressed() > rejections_before {
+                    // The step-halving rejection path is the shrink side
+                    // of this controller: a step Newton had to cut up is
+                    // evidence dt outran the dynamics.
+                    dt = phase.dt;
+                } else if !der_prev.is_empty() {
+                    let max_dd = der
+                        .iter()
+                        .zip(&der_prev)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f64, f64::max);
+                    let est = 0.5 * h * max_dd;
+                    if est > LTE_TOL_VOLTS && dt > phase.dt {
+                        dt = (0.5 * dt).max(phase.dt);
+                    } else if est < LTE_GROW_MARGIN * LTE_TOL_VOLTS && dt < dt_max && h >= dt {
+                        dt = (2.0 * dt).min(dt_max);
+                        lte_growths += 1;
+                    }
+                }
+                der_prev.clear();
+                der_prev.extend_from_slice(&der);
+                t = t1;
+            }
+        } else {
+            let n_full = (phase.duration / phase.dt).floor() as usize;
+            let remainder = phase.duration - n_full as f64 * phase.dt;
+            // Sub-ppb leftovers are quantization noise of `duration/dt`,
+            // not a real remainder step.
+            let has_remainder = remainder > phase.dt * 1.0e-9;
+            for i in 0..n_full {
+                let t0 = phase_start + i as f64 * phase.dt;
+                v = advance_step(&asm, v, t0, phase.dt, opts, 0, &mut trace)?;
+                let t1 = if i + 1 == n_full && !has_remainder {
+                    phase_start + phase.duration
+                } else {
+                    phase_start + (i + 1) as f64 * phase.dt
+                };
+                result.push_sample(t1, probes.iter().map(|&n| v[n.index()]));
+                if let Some(stop) = stop.as_deref_mut() {
+                    if stop(t1, &v) {
+                        stopped = true;
+                        break 'phases;
+                    }
                 }
             }
-        }
-        if has_remainder {
-            let t0 = phase_start + n_full as f64 * phase.dt;
-            v = advance_step(&asm, v, t0, remainder, opts, 0, &mut trace)?;
-            let t1 = phase_start + phase.duration;
-            result.push_sample(t1, probes.iter().map(|&n| v[n.index()]));
-            if let Some(stop) = stop.as_deref_mut() {
-                if stop(t1, &v) {
-                    stopped = true;
-                    break 'phases;
+            if has_remainder {
+                let t0 = phase_start + n_full as f64 * phase.dt;
+                v = advance_step(&asm, v, t0, remainder, opts, 0, &mut trace)?;
+                let t1 = phase_start + phase.duration;
+                result.push_sample(t1, probes.iter().map(|&n| v[n.index()]));
+                if let Some(stop) = stop.as_deref_mut() {
+                    if stop(t1, &v) {
+                        stopped = true;
+                        break 'phases;
+                    }
                 }
             }
         }
         phase_start += phase.duration;
+    }
+    if lte_growths > 0 {
+        finrad_observe::counter_add(
+            finrad_observe::keys::SPICE_TRANSIENT_LTE_STEP_GROWTHS,
+            lte_growths,
+        );
     }
     result.set_final_voltages(v);
     Ok((result, trace, stopped))
@@ -1305,6 +1806,152 @@ mod tests {
         let res = transient(&ckt, &plan, &HashMap::new(), &[n], &opts()).unwrap();
         let (_t, v_end) = res.last_sample(0).unwrap();
         assert!((v_end - 0.2).abs() < 0.01, "v_end {v_end}");
+    }
+
+    /// A CMOS inverter holding its output high with a strike-like current
+    /// pulse pulling the output down — the smallest circuit exercising
+    /// both transient phases (fixed strike window + settling tail) the
+    /// SRAM characterization uses.
+    fn struck_inverter() -> (Circuit, NodeId, HashMap<NodeId, f64>) {
+        let tech = Technology::soi_finfet_14nm();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let y = ckt.node("y");
+        ckt.add_vsource(vdd, Circuit::GROUND, 0.8);
+        ckt.add_vsource(a, Circuit::GROUND, 0.0);
+        ckt.add_mosfet(y, a, Circuit::GROUND, FinFet::new(&tech, Polarity::Nmos, 1));
+        ckt.add_mosfet(y, a, vdd, FinFet::new(&tech, Polarity::Pmos, 1));
+        ckt.add_capacitor(y, Circuit::GROUND, 0.5e-15);
+        ckt.add_isource(
+            y,
+            Circuit::GROUND,
+            SourceWaveform::rectangular_charge(Charge::from_coulombs(1.0e-16), 2.0e-15, 1.6e-14),
+        );
+        let mut ic = HashMap::new();
+        ic.insert(vdd, 0.8);
+        ic.insert(y, 0.8);
+        (ckt, y, ic)
+    }
+
+    #[test]
+    fn adaptive_settle_matches_fixed_grid_reference() {
+        let (ckt, y, ic) = struck_inverter();
+        let phases = vec![
+            Phase {
+                duration: 3.2e-14,
+                dt: 2.0e-15,
+            },
+            Phase {
+                duration: 5.0e-12,
+                dt: 1.25e-14,
+            },
+        ];
+        let fixed = TimeStepPlan::new(phases.clone());
+        let adaptive = TimeStepPlan::new(phases).with_adaptive_phase(1);
+        let rf = transient(&ckt, &fixed, &ic, &[y], &opts()).unwrap();
+        let ra = transient(&ckt, &adaptive, &ic, &[y], &opts()).unwrap();
+        let (tf, vf) = rf.last_sample(0).unwrap();
+        let (ta, va) = ra.last_sample(0).unwrap();
+        // Both runs land exactly on the plan's end time; the adaptive
+        // trajectory must settle to the same recovered output.
+        assert_eq!(tf.to_bits(), ta.to_bits());
+        assert!(
+            (vf - va).abs() < 0.02,
+            "fixed-grid {vf} vs adaptive {va} at t = {tf}"
+        );
+    }
+
+    #[test]
+    fn adaptive_steps_never_cross_phase_boundary_or_strike_window() {
+        let (ckt, y, ic) = struck_inverter();
+        let fine = Phase {
+            duration: 3.2e-14,
+            dt: 2.0e-15,
+        };
+        let settle = Phase {
+            duration: 5.0e-12,
+            dt: 1.25e-14,
+        };
+        let plan = TimeStepPlan::new(vec![fine, settle]).with_adaptive_phase(1);
+        let res = transient(&ckt, &plan, &ic, &[y], &opts()).unwrap();
+        let times = res.times();
+
+        // The strike window steps on the exact fixed grid: every sample
+        // timestamp is bit-identical to its `(i+1)·dt` grid point, so
+        // waveform sampling inside the pulse stays reproducible no matter
+        // what the settle controller does.
+        let n_fine = (fine.duration / fine.dt).floor() as usize;
+        assert_eq!(times[0].to_bits(), 0.0f64.to_bits(), "initial sample");
+        for i in 0..n_fine {
+            let expect = if i + 1 == n_fine {
+                fine.duration
+            } else {
+                (i + 1) as f64 * fine.dt
+            };
+            assert_eq!(
+                times[i + 1].to_bits(),
+                expect.to_bits(),
+                "fine sample {i}: {} vs {expect}",
+                times[i + 1]
+            );
+        }
+
+        // Adaptive samples stay strictly inside their phase, never exceed
+        // the growth cap, and the run ends exactly on the plan's end.
+        let end = fine.duration + settle.duration;
+        let mut prev = fine.duration;
+        for &t in &times[n_fine + 1..] {
+            assert!(
+                t > fine.duration && t <= end,
+                "adaptive sample {t} escaped its phase"
+            );
+            let h = t - prev;
+            assert!(
+                h > 0.0 && h <= settle.dt * LTE_MAX_GROWTH * (1.0 + 1.0e-9),
+                "adaptive step {h} outside [0, cap]"
+            );
+            prev = t;
+        }
+        assert_eq!(times.last().unwrap().to_bits(), end.to_bits());
+    }
+
+    #[test]
+    fn forced_refresh_quasi_newton_matches_full_newton_bitwise() {
+        let (ckt, y, ic) = struck_inverter();
+        let plan = TimeStepPlan::new(vec![
+            Phase {
+                duration: 3.2e-14,
+                dt: 2.0e-15,
+            },
+            Phase {
+                duration: 1.0e-12,
+                dt: 1.25e-14,
+            },
+        ])
+        .with_adaptive_phase(1);
+        let classic = NewtonOptions {
+            jacobian_reuse: false,
+            ..opts()
+        };
+        // A refresh budget of zero forces refactorization every iteration:
+        // the reuse machinery must then reproduce classic full Newton to
+        // the last bit, proving the fallback path is exact.
+        let forced = NewtonOptions {
+            jacobian_reuse: true,
+            max_jacobian_age: 0,
+            ..opts()
+        };
+        let rc = transient(&ckt, &plan, &ic, &[y], &classic).unwrap();
+        let rf = transient(&ckt, &plan, &ic, &[y], &forced).unwrap();
+        assert_eq!(rc.times().len(), rf.times().len());
+        for (i, (a, b)) in rc.trace(0).iter().zip(rf.trace(0)).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "sample {i}: forced-refresh {b} diverged from full Newton {a}"
+            );
+        }
     }
 
     #[test]

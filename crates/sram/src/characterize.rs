@@ -104,6 +104,10 @@ pub struct CellCharacterizer {
     op_cache: Arc<Mutex<HashMap<OpKey, Arc<Vec<f64>>>>>,
 }
 
+/// Sub-block size of the batched Monte-Carlo warm seeding: one
+/// [`analysis::warm_seed_batch`] call covers this many ΔVth lanes.
+const WARM_SEED_LANES: usize = 32;
+
 /// Cache key for a pre-strike operating point: the supply voltage and the
 /// six per-transistor ΔVth values (in fixed role order), all as exact
 /// f64 bits — two keys are equal iff the circuits are bit-identical.
@@ -231,8 +235,11 @@ impl CellCharacterizer {
     /// The transient starts from the cached pre-strike operating point and
     /// exits the settle phase early once the margin is provably
     /// stationary: |margin| beyond half the supply with a per-step change
-    /// under 1e-3 for 8 consecutive coarse steps. The exit decision
-    /// depends only on the trajectory, so results stay deterministic.
+    /// under 1e-3 sustained over 200 fs of simulated time. The window is
+    /// time-based (not step-counted) so it is equally meaningful on the
+    /// fixed strike grid and on the sparse LTE-adaptive settle samples;
+    /// the exit decision depends only on the trajectory, so results stay
+    /// deterministic.
     fn strike_margin(
         &self,
         vdd: Voltage,
@@ -254,7 +261,8 @@ impl CellCharacterizer {
         let vdd_v = vdd.volts();
         let (iq, iqb) = (cell.q().index(), cell.qb().index());
         let mut prev_m = f64::NAN;
-        let mut stable = 0u32;
+        let mut prev_t = f64::NAN;
+        let mut stable_time = 0.0f64;
         let (res, stopped) = analysis::transient_until(
             cell.circuit(),
             &plan,
@@ -269,9 +277,14 @@ impl CellCharacterizer {
                 }
                 let m = (v[iq] - v[iqb]) / vdd_v;
                 let stationary = m.abs() > 0.5 && (m - prev_m).abs() < 1.0e-3;
-                stable = if stationary { stable + 1 } else { 0 };
+                stable_time = if stationary && prev_t.is_finite() {
+                    stable_time + (t - prev_t)
+                } else {
+                    0.0
+                };
                 prev_m = m;
-                stable >= 8
+                prev_t = t;
+                stable_time >= 2.0e-13
             },
         )?;
         if stopped {
@@ -421,6 +434,71 @@ impl CellCharacterizer {
             .collect()
     }
 
+    /// Pre-seeds the operating-point cache for a block of Monte-Carlo
+    /// ΔVth samples using the batched SoA model path: the linear MNA
+    /// template is stamped once, every device is evaluated across all
+    /// lanes in one [`analysis::warm_seed_batch`] call, and each sample's
+    /// DC solve then starts from its own single-Newton-step seed —
+    /// typically converging in one confirming iteration.
+    ///
+    /// Purely an accelerator: any failure (singular lane, non-converged
+    /// warm solve) leaves that sample out of the cache and the scalar
+    /// path in [`CellCharacterizer::pre_strike_state`] solves it the old
+    /// way. Each lane depends only on the nominal state and its own
+    /// deltas, so results are independent of thread chunking.
+    fn preseed_op_cache(&self, vdd: Voltage, samples: &[HashMap<TransistorRole, Voltage>]) {
+        let state = CellState::One;
+        let todo: Vec<&HashMap<TransistorRole, Voltage>> = {
+            let cache = lock_recovering(&self.op_cache);
+            samples
+                .iter()
+                .filter(|d| !d.is_empty() && !cache.contains_key(&op_key(vdd, d)))
+                .collect()
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let nominal_cell = SramCell::new(&self.tech, vdd);
+        let Ok(nominal) = self.pre_strike_state(vdd, &HashMap::new(), &nominal_cell, state) else {
+            return;
+        };
+        // Lane matrix in the circuit's MOSFET-id order: transistor roles
+        // map onto ids via the cell, devices outside the role set (none
+        // in a 6T cell) get zero-ΔVth lanes.
+        let circuit = nominal_cell.circuit();
+        let deltas_by_mosfet: Vec<Vec<f64>> = circuit
+            .mosfet_ids()
+            .map(|id| {
+                let role = TransistorRole::ALL
+                    .into_iter()
+                    .find(|&r| nominal_cell.mosfet_id(r) == id);
+                todo.iter()
+                    .map(|d| role.and_then(|r| d.get(&r)).map_or(0.0, |dv| dv.volts()))
+                    .collect()
+            })
+            .collect();
+        let Ok(seeds) =
+            analysis::warm_seed_batch(circuit, &self.options.newton, &nominal, &deltas_by_mosfet)
+        else {
+            return;
+        };
+        for (deltas, lane_seed) in todo.iter().zip(&seeds) {
+            let mut cell = SramCell::new(&self.tech, vdd);
+            for (&role, &dv) in deltas.iter() {
+                let id = cell.mosfet_id(role);
+                let dev = cell.circuit().mosfet(id).with_delta_vth(dv);
+                *cell.circuit_mut().mosfet_mut(id) = dev;
+            }
+            if let Ok(op) =
+                analysis::dc_operating_point_warm(cell.circuit(), &self.options.newton, lane_seed)
+            {
+                finrad_observe::counter_add(finrad_observe::keys::SRAM_DCOP_CACHE_MISSES, 1);
+                lock_recovering(&self.op_cache)
+                    .insert(op_key(vdd, deltas), Arc::new(op.node_voltages().to_vec()));
+            }
+        }
+    }
+
     /// Characterizes one combo: the POF curve at `vdd`.
     ///
     /// For [`Variation::MonteCarlo`] the samples are distributed across
@@ -464,15 +542,27 @@ impl CellCharacterizer {
                         let this = &self;
                         handles.push(scope.spawn(move || {
                             let mut out = Vec::with_capacity(end - start);
-                            for i in start..end {
-                                let mut rng = Xoshiro256pp::salted_stream(
-                                    seed,
-                                    i as u64,
-                                    0x9E37_79B9_7F4A_7C15,
-                                );
-                                let deltas = this.sample_deltas(var, &mut rng);
-                                let q = this.critical_charge(vdd, combo, &deltas)?;
-                                out.push(q.coulombs());
+                            // Walk the chunk in sub-blocks sized for the
+                            // batched SoA seeding; each sample keeps its
+                            // own salted RNG stream, so the draws are
+                            // identical to the retired one-at-a-time loop.
+                            for block in (start..end).collect::<Vec<_>>().chunks(WARM_SEED_LANES) {
+                                let block_deltas: Vec<_> = block
+                                    .iter()
+                                    .map(|&i| {
+                                        let mut rng = Xoshiro256pp::salted_stream(
+                                            seed,
+                                            i as u64,
+                                            0x9E37_79B9_7F4A_7C15,
+                                        );
+                                        this.sample_deltas(var, &mut rng)
+                                    })
+                                    .collect();
+                                this.preseed_op_cache(vdd, &block_deltas);
+                                for deltas in &block_deltas {
+                                    let q = this.critical_charge(vdd, combo, deltas)?;
+                                    out.push(q.coulombs());
+                                }
                             }
                             Ok(out)
                         }));

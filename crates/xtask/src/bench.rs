@@ -255,6 +255,76 @@ pub fn require_counters(text: &str, required: &[String]) -> Vec<String> {
         .collect()
 }
 
+/// Benches whose `ns_per_iter` is gated by `--diff-base`: the macro
+/// kernels the performance trajectory tracks round over round. Sub-µs
+/// micro-benches are deliberately excluded — at that scale run-to-run
+/// jitter on a shared CI host routinely exceeds the regression budget,
+/// so gating them would only produce flaky failures.
+pub const PINNED_BENCHES: &[&str] = &[
+    "sram_strike_transient",
+    "sram_hold_transient_100steps",
+    "characterization/critical_charge_bisection",
+];
+
+/// Allowed fractional `ns_per_iter` growth for a pinned bench before the
+/// differential check fails (0.15 = +15%).
+pub const DIFF_MAX_REGRESSION: f64 = 0.15;
+
+/// Name → ns/iter pairs of a trajectory document's bench array.
+fn bench_times(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let benches = doc
+        .get("benches")
+        .and_then(Value::as_array)
+        .ok_or("benches must be an array")?;
+    benches
+        .iter()
+        .map(|b| {
+            Some((
+                b.get("name")?.as_str()?.to_owned(),
+                b.get("ns_per_iter")?.as_f64()?,
+            ))
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| "bench entry missing name/ns_per_iter".to_owned())
+}
+
+/// Differential mode, mirroring the lint `--diff-base` design: compares
+/// `current` against a baseline trajectory document and returns one
+/// message per [`PINNED_BENCHES`] entry that regressed beyond
+/// [`DIFF_MAX_REGRESSION`] (empty means no regressions). A pinned bench
+/// present in the base but dropped from the current document is also an
+/// error — deleting a bench must not silently pass the gate; a pinned
+/// bench absent from the base is a fresh gate and is skipped.
+pub fn diff_regressions(current: &str, base: &str) -> Vec<String> {
+    let cur = match bench_times(current) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("current document: {e}")],
+    };
+    let bas = match bench_times(base) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("base document: {e}")],
+    };
+    let mut out = Vec::new();
+    for &name in PINNED_BENCHES {
+        let Some(b) = bas.iter().find(|(n, _)| n == name).map(|&(_, v)| v) else {
+            continue;
+        };
+        match cur.iter().find(|(n, _)| n == name).map(|&(_, v)| v) {
+            None => out.push(format!(
+                "pinned bench {name:?} present in base but missing from current document"
+            )),
+            Some(c) if b > 0.0 && c > b * (1.0 + DIFF_MAX_REGRESSION) => out.push(format!(
+                "pinned bench {name:?} regressed {:+.1}%: {b} -> {c} ns/iter (budget +{:.0}%)",
+                (c / b - 1.0) * 100.0,
+                DIFF_MAX_REGRESSION * 100.0
+            )),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +426,62 @@ mod tests {
         let zero = require_counters(&zeroed, &["spice.newton.iterations".to_string()]);
         assert_eq!(zero.len(), 1);
         assert!(zero[0].contains("zero"), "{zero:?}");
+    }
+
+    fn doc_with(pairs: &[(&str, f64)]) -> String {
+        let benches: Vec<BenchEntry> = pairs
+            .iter()
+            .map(|&(name, ns)| BenchEntry {
+                name: name.into(),
+                ns_per_iter: ns,
+                iters: 100,
+            })
+            .collect();
+        compose(25, true, 8, &benches, METRICS)
+    }
+
+    #[test]
+    fn diff_passes_within_budget_and_ignores_unpinned() {
+        let base = doc_with(&[
+            ("sram_strike_transient", 1000.0),
+            ("finfet_model_eval", 10.0),
+        ]);
+        // +14% on a pinned bench is inside the 15% budget; the unpinned
+        // micro-bench tripling must not trip the gate.
+        let cur = doc_with(&[
+            ("sram_strike_transient", 1140.0),
+            ("finfet_model_eval", 30.0),
+        ]);
+        assert_eq!(diff_regressions(&cur, &base), Vec::<String>::new());
+    }
+
+    #[test]
+    fn diff_fails_on_pinned_regression() {
+        let base = doc_with(&[("characterization/critical_charge_bisection", 1000.0)]);
+        let cur = doc_with(&[("characterization/critical_charge_bisection", 1200.0)]);
+        let errs = diff_regressions(&cur, &base);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("critical_charge_bisection"), "{errs:?}");
+        assert!(errs[0].contains("+20.0%"), "{errs:?}");
+    }
+
+    #[test]
+    fn diff_flags_dropped_pinned_bench_but_skips_fresh_gates() {
+        // Base tracks a pinned bench that current silently dropped: error.
+        let base = doc_with(&[("sram_hold_transient_100steps", 500.0)]);
+        let cur = doc_with(&[("finfet_model_eval", 10.0)]);
+        let errs = diff_regressions(&cur, &base);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("missing"), "{errs:?}");
+        // Pinned bench new in current (absent from base): fresh gate, ok.
+        assert_eq!(diff_regressions(&base, &cur), Vec::<String>::new());
+    }
+
+    #[test]
+    fn diff_reports_unparseable_documents() {
+        let ok = doc_with(&[("sram_strike_transient", 1.0)]);
+        assert!(diff_regressions("not json", &ok)[0].contains("current document"));
+        assert!(diff_regressions(&ok, "not json")[0].contains("base document"));
     }
 
     #[test]

@@ -46,15 +46,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: cargo xtask lint [--deny-all] [--fix-allowlist] [--json <path|->] \
 [--format json|sarif] [--sarif <path>] [--diff-base <report.json>] [--check-report <path>] \
 [--max <lint>=<N>]\n       \
-cargo xtask bench [--smoke] [--out <path>] [--check <path>] [--require-counter <key>]";
+cargo xtask bench [--smoke] [--out <path>] [--check <path>] [--require-counter <key>] \
+[--diff-base <BENCH_n.json>]";
 
 const BENCH_USAGE: &str = "usage: cargo xtask bench [--smoke] [--out <path>] [--check <path>] \
-[--require-counter <key>]";
+[--require-counter <key>] [--diff-base <BENCH_n.json>]";
 
 fn bench_command(args: &[String]) -> ExitCode {
     let mut smoke = false;
     let mut out: Option<PathBuf> = None;
     let mut check: Option<PathBuf> = None;
+    let mut diff_base: Option<PathBuf> = None;
     let mut required: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -81,6 +83,13 @@ fn bench_command(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--diff-base" => match it.next() {
+                Some(path) => diff_base = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--diff-base needs a trajectory file path\n{BENCH_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown bench flag `{other}`\n{BENCH_USAGE}");
                 return ExitCode::from(2);
@@ -98,11 +107,25 @@ fn bench_command(args: &[String]) -> ExitCode {
         };
         let mut errors = xtask::bench::validate(&text);
         errors.extend(xtask::bench::require_counters(&text, &required));
+        if let Some(base_path) = &diff_base {
+            match std::fs::read_to_string(base_path) {
+                Ok(base) => errors.extend(xtask::bench::diff_regressions(&text, &base)),
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", base_path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
         if errors.is_empty() {
             println!(
-                "{}: schema-valid trajectory file ({} required counter(s) present)",
+                "{}: schema-valid trajectory file ({} required counter(s) present{})",
                 path.display(),
-                required.len()
+                required.len(),
+                if diff_base.is_some() {
+                    ", no pinned-bench regressions"
+                } else {
+                    ""
+                }
             );
             return ExitCode::SUCCESS;
         }
@@ -175,9 +198,19 @@ fn bench_command(args: &[String]) -> ExitCode {
         .unwrap_or(1);
     let doc = xtask::bench::compose(bench_ms, smoke, parallelism, &benches, &pipeline_json);
     // Self-check: never write a trajectory file the schema gate rejects,
-    // nor one missing a counter the caller declared mandatory.
+    // one missing a counter the caller declared mandatory, or one that
+    // regresses a pinned bench past the differential budget.
     let mut errors = xtask::bench::validate(&doc);
     errors.extend(xtask::bench::require_counters(&doc, &required));
+    if let Some(base_path) = &diff_base {
+        match std::fs::read_to_string(base_path) {
+            Ok(base) => errors.extend(xtask::bench::diff_regressions(&doc, &base)),
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", base_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
     if !errors.is_empty() {
         for e in &errors {
             eprintln!("error: composed document fails its own schema: {e}");

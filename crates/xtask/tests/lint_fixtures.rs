@@ -132,8 +132,17 @@ fn metrics_key_registry_fixture() {
         .metric_key_prefixes
         .iter()
         .any(|p| p == "spice.recovery.rung."));
-    // Declared key (line 5) and prefix-composed key (line 9) pass; only the
-    // typo'd key fires, with the span on the string literal.
+    // The round-2 hot-path keys are part of the real registry, so the
+    // fixture's uses of them must not fire.
+    assert!(index.metric_keys.contains("spice.newton.jacobian_reuses"));
+    assert!(index.metric_keys.contains("spice.newton.refactorizations"));
+    assert!(index
+        .metric_keys
+        .contains("spice.transient.lte_step_growths"));
+    assert!(index.metric_keys.contains("finfet.model.batched_evals"));
+    // Declared key (line 5), prefix-composed key (line 9) and the round-2
+    // keys (lines 17-20) pass; only the typo'd key fires, with the span on
+    // the string literal.
     assert_eq!(v.len(), 1, "{v:#?}");
     assert_eq!(v[0].lint, LintId::MetricsKeyRegistry);
     assert_eq!((v[0].line, v[0].col), (13, 33));
